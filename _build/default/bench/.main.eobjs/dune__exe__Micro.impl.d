@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Geacc_core Geacc_datagen Geacc_index Geacc_pqueue Geacc_util Hashtbl Int Lazy Measure Printf Staged Test Time Toolkit

@@ -1,0 +1,679 @@
+(* Paper-figure experiments (Section V). Each [run] prints, per metric, a
+   table whose rows are the sweep points and whose columns are the
+   algorithms — the series of the corresponding figure. The [quick] profile
+   (default) shrinks the most expensive sweep points so the whole suite
+   terminates in minutes; [--full] restores the paper's TABLE III values. *)
+
+open Geacc_core
+open Geacc_util
+module Synthetic = Geacc_datagen.Synthetic
+module Meetup = Geacc_datagen.Meetup
+module Harness = Geacc_bench.Harness
+
+type profile = { full : bool; trials : int }
+
+let default_trials = 3
+
+(* The four algorithms of Fig 3 / Fig 4. *)
+let fig34_algorithms =
+  [ Solver.Greedy; Solver.Min_cost_flow; Solver.Random_v; Solver.Random_u ]
+
+let metrics = [ `Maxsum; `Time_ms; `Memory_mb ]
+
+let print_sweep_tables ~title ~xlabel ~rows ~algorithms =
+  (* [rows]: (x label, aggregates in [algorithms] order). *)
+  List.iter
+    (fun metric ->
+      let table =
+        Table.create
+          ~title:(Printf.sprintf "%s — %s" title (Harness.metric_label metric))
+          ~headers:(xlabel :: List.map Solver.name algorithms)
+      in
+      List.iter
+        (fun (x, aggregates) ->
+          Table.add_float_row table ~label:x
+            (List.map (Harness.metric metric) aggregates))
+        rows;
+      Table.print table)
+    metrics
+
+(* Generic sweep over pre-labelled instance families, averaged trials. *)
+let labelled_sweep ~profile ~title ~xlabel ~points
+    ?(algorithms = fig34_algorithms) () =
+  let rows =
+    List.map
+      (fun (label, make_instance) ->
+        Printf.eprintf "[bench] %s: %s = %s\n%!" title xlabel label;
+        ( label,
+          Harness.average ~trials:profile.trials ~make_instance algorithms ))
+      points
+  in
+  print_sweep_tables ~title ~xlabel ~rows ~algorithms
+
+(* Quick-profile base: the paper's defaults with |U| scaled down so that
+   MinCostFlow-GEACC (quartic) stays tractable across the sweeps. *)
+let base_config profile =
+  if profile.full then Synthetic.default
+  else { Synthetic.default with Synthetic.n_users = 400 }
+
+let synth_point cfg = fun ~seed -> Synthetic.generate ~seed cfg
+
+(* -- Fig 3: cardinality, dimensionality, conflict-set size ------------- *)
+
+let fig3_v profile =
+  let base = base_config profile in
+  let xs = [ 20; 50; 100; 200; 500 ] in
+  labelled_sweep ~profile ~title:"Fig 3 (col 1): varying |V|" ~xlabel:"|V|"
+    ~points:
+      (List.map
+         (fun n ->
+           (string_of_int n, synth_point { base with Synthetic.n_events = n }))
+         xs)
+    ()
+
+let fig3_u profile =
+  let base = base_config profile in
+  let xs =
+    if profile.full then [ 100; 200; 500; 1000; 2000; 5000 ]
+    else [ 100; 200; 500; 1000 ]
+  in
+  labelled_sweep ~profile ~title:"Fig 3 (col 2): varying |U|" ~xlabel:"|U|"
+    ~points:
+      (List.map
+         (fun n ->
+           (string_of_int n, synth_point { base with Synthetic.n_users = n }))
+         xs)
+    ()
+
+let fig3_d profile =
+  let base = base_config profile in
+  let xs = [ 2; 5; 10; 15; 20 ] in
+  labelled_sweep ~profile ~title:"Fig 3 (col 3): varying dimensionality d"
+    ~xlabel:"d"
+    ~points:
+      (List.map
+         (fun d -> (string_of_int d, synth_point { base with Synthetic.dim = d }))
+         xs)
+    ()
+
+let fig3_cf profile =
+  let base = base_config profile in
+  let xs = [ 0.; 0.25; 0.5; 0.75; 1. ] in
+  labelled_sweep ~profile
+    ~title:"Fig 3 (col 4): varying conflict ratio |CF|/(|V|(|V|-1)/2)"
+    ~xlabel:"|CF| ratio"
+    ~points:
+      (List.map
+         (fun r ->
+           ( Printf.sprintf "%.2f" r,
+             synth_point { base with Synthetic.conflict_ratio = r } ))
+         xs)
+    ()
+
+(* -- Fig 4: capacities, distributions, real dataset -------------------- *)
+
+let fig4_cv profile =
+  let base = base_config profile in
+  let xs = [ 10; 20; 50; 100; 200 ] in
+  labelled_sweep ~profile ~title:"Fig 4 (col 1): varying max c_v"
+    ~xlabel:"max c_v"
+    ~points:
+      (List.map
+         (fun c ->
+           ( string_of_int c,
+             synth_point
+               { base with Synthetic.event_capacity = Synthetic.Cap_uniform c }
+           ))
+         xs)
+    ()
+
+let fig4_cu profile =
+  let base = base_config profile in
+  let xs = [ 2; 4; 6; 8; 10 ] in
+  labelled_sweep ~profile ~title:"Fig 4 (col 2): varying max c_u"
+    ~xlabel:"max c_u"
+    ~points:
+      (List.map
+         (fun c ->
+           ( string_of_int c,
+             synth_point
+               { base with Synthetic.user_capacity = Synthetic.Cap_uniform c }
+           ))
+         xs)
+    ()
+
+let fig4_dist profile =
+  let base =
+    {
+      (base_config profile) with
+      Synthetic.attrs = Synthetic.Attr_zipf 1.3;
+      event_capacity = Synthetic.Cap_normal (25., 12.5);
+      user_capacity = Synthetic.Cap_normal (2., 1.);
+    }
+  in
+  let xs = if profile.full then [ 20; 50; 100; 200; 500 ] else [ 20; 50; 100; 200 ] in
+  labelled_sweep ~profile
+    ~title:"Fig 4 (col 3): Zipf attributes + Normal capacities, varying |V|"
+    ~xlabel:"|V|"
+    ~points:
+      (List.map
+         (fun n ->
+           (string_of_int n, synth_point { base with Synthetic.n_events = n }))
+         xs)
+    ()
+
+let fig4_real profile =
+  let xs = [ 0.; 0.25; 0.5; 0.75; 1. ] in
+  labelled_sweep ~profile
+    ~title:"Fig 4 (col 4): real dataset (simulated Meetup, Auckland)"
+    ~xlabel:"|CF| ratio"
+    ~points:
+      (List.map
+         (fun r ->
+           ( Printf.sprintf "%.2f" r,
+             fun ~seed ->
+               Meetup.generate ~seed ~conflict_ratio:r Meetup.auckland ))
+         xs)
+    ()
+
+(* -- Fig 5a,b: scalability of Greedy-GEACC ----------------------------- *)
+
+let fig5_scalability profile =
+  let vs = if profile.full then [ 100; 200; 500; 1000 ] else [ 100; 200; 500 ] in
+  let us =
+    if profile.full then [ 10_000; 25_000; 50_000; 75_000; 100_000 ]
+    else [ 10_000; 25_000; 50_000 ]
+  in
+  let time_table =
+    Table.create ~title:"Fig 5a: Greedy-GEACC scalability — time (ms)"
+      ~headers:("|U|" :: List.map (fun v -> Printf.sprintf "|V|=%d" v) vs)
+  and mem_table =
+    Table.create ~title:"Fig 5b: Greedy-GEACC scalability — memory (MB)"
+      ~headers:("|U|" :: List.map (fun v -> Printf.sprintf "|V|=%d" v) vs)
+  in
+  List.iter
+    (fun n_users ->
+      Printf.eprintf "[bench] fig5-scal: |U| = %d\n%!" n_users;
+      let cells =
+        List.map
+          (fun n_events ->
+            let cfg =
+              {
+                Synthetic.default with
+                Synthetic.n_events;
+                n_users;
+                event_capacity = Synthetic.Cap_uniform 200;
+              }
+            in
+            Harness.measure Solver.Greedy (fun () ->
+                Synthetic.generate ~seed:1 cfg))
+          vs
+      in
+      Table.add_row time_table
+        (string_of_int n_users
+        :: List.map
+             (fun (m : Harness.measurement) ->
+               Printf.sprintf "%.4g" (m.Harness.wall_s *. 1000.))
+             cells);
+      Table.add_row mem_table
+        (string_of_int n_users
+        :: List.map
+             (fun (m : Harness.measurement) ->
+               Printf.sprintf "%.4g"
+                 (float_of_int m.Harness.live_bytes /. (1024. *. 1024.)))
+             cells))
+    us;
+  Table.print time_table;
+  Table.print mem_table
+
+(* -- Fig 5c,d: approximation quality against the exact optimum --------- *)
+
+let exact_budget = 25_000_000
+
+let fig5_approx profile =
+  (* Exact search is worst-case exponential and some (ratio, seed) points
+     genuinely explode, so the optimum is computed with the tightened bound
+     under a visit budget; ratios average only the seeds whose search
+     provably completed (the "exact seeds" column). *)
+  let base =
+    {
+      Synthetic.default with
+      Synthetic.n_events = 5;
+      n_users = 15;
+      event_capacity = Synthetic.Cap_uniform 10;
+    }
+  in
+  let trials = Stdlib.max profile.trials 5 in
+  let table =
+    Table.create
+      ~title:
+        "Fig 5c: MaxSum vs optimal (|V|=5, |U|=15, c_v~U[1,10]; optimum by \
+         exact search, budget-limited seeds excluded)"
+      ~headers:
+        [ "|CF| ratio"; "Greedy/Opt"; "MCF/Opt"; "mean Optimal";
+          "exact seeds" ]
+  in
+  let time_table =
+    Table.create ~title:"Fig 5d: mean running time (ms) of the same runs"
+      ~headers:
+        [ "|CF| ratio"; "Greedy-GEACC"; "MinCostFlow-GEACC"; "Exact" ]
+  in
+  List.iter
+    (fun r ->
+      Printf.eprintf "[bench] fig5-approx: |CF| ratio = %.2f\n%!" r;
+      let cfg = { base with Synthetic.conflict_ratio = r } in
+      let greedy_ratio = Stats.create ()
+      and mcf_ratio = Stats.create ()
+      and opts = Stats.create ()
+      and t_greedy = Stats.create ()
+      and t_mcf = Stats.create ()
+      and t_exact = Stats.create () in
+      for seed = 1 to trials do
+        let instance = Synthetic.generate ~seed cfg in
+        let greedy, tg = Measure.time (fun () -> Greedy.solve instance) in
+        let mcf, tm = Measure.time (fun () -> Mincostflow.solve instance) in
+        let (opt, st), te =
+          Measure.time (fun () ->
+              Exact.solve ~tighten:true ~budget:exact_budget instance)
+        in
+        Stats.add t_greedy (tg *. 1000.);
+        Stats.add t_mcf (tm *. 1000.);
+        Stats.add t_exact (te *. 1000.);
+        if not st.Exact.exhausted_budget then begin
+          let o = Matching.maxsum opt in
+          Stats.add opts o;
+          Stats.add greedy_ratio (Matching.maxsum greedy /. o);
+          Stats.add mcf_ratio (Matching.maxsum mcf /. o)
+        end
+      done;
+      Table.add_row table
+        [
+          Printf.sprintf "%.2f" r;
+          Printf.sprintf "%.3f" (Stats.mean greedy_ratio);
+          Printf.sprintf "%.3f" (Stats.mean mcf_ratio);
+          Printf.sprintf "%.4f" (Stats.mean opts);
+          Printf.sprintf "%d/%d" (Stats.count opts) trials;
+        ];
+      Table.add_float_row time_table
+        ~label:(Printf.sprintf "%.2f" r)
+        [ Stats.mean t_greedy; Stats.mean t_mcf; Stats.mean t_exact ])
+    [ 0.; 0.25; 0.5; 0.75; 1. ];
+  Table.print table;
+  Table.print time_table
+
+(* -- Fig 6: effectiveness of pruning ----------------------------------- *)
+
+let fig6_exhaustive_budget = 80_000_000
+
+let fig6_settings profile =
+  (* Exhaustive search explodes combinatorially; these sizes let it finish
+     (or hit a generous budget) per sweep point. *)
+  if profile.full then (5, 8, 5, 2) else (5, 7, 5, 2)
+
+let fig6_prune_depth profile =
+  let trials = Stdlib.max profile.trials 3 in
+  let table =
+    Table.create
+      ~title:
+        "Fig 6a: Prune-GEACC averaged depth at pruning (|V|=5, c_v~U[1,10]; \
+         dashes in the paper = max depth)"
+      ~headers:
+        [ "|CF| ratio"; "avg depth |U|=10"; "max depth |U|=10";
+          "avg depth |U|=15"; "max depth |U|=15" ]
+  in
+  List.iter
+    (fun r ->
+      let cells =
+        List.concat_map
+          (fun n_users ->
+            let s_avg = Stats.create () and s_max = Stats.create () in
+            for seed = 1 to trials do
+              let cfg =
+                {
+                  Synthetic.default with
+                  Synthetic.n_events = 5;
+                  n_users;
+                  event_capacity = Synthetic.Cap_uniform 10;
+                  conflict_ratio = r;
+                }
+              in
+              let _, st = Exact.solve (Synthetic.generate ~seed cfg) in
+              if st.Exact.prunes > 0 then
+                Stats.add s_avg
+                  (float_of_int st.Exact.prune_depth_total
+                  /. float_of_int st.Exact.prunes);
+              Stats.add s_max (float_of_int st.Exact.max_depth)
+            done;
+            [
+              Printf.sprintf "%.1f" (Stats.mean s_avg);
+              Printf.sprintf "%.0f" (Stats.mean s_max);
+            ])
+          [ 10; 15 ]
+      in
+      Table.add_row table (Printf.sprintf "%.2f" r :: cells))
+    [ 0.; 0.25; 0.5; 0.75; 1. ];
+  Table.print table
+
+let fig6_vs_exhaustive profile =
+  let n_events, n_users, cv, cu = fig6_settings profile in
+  let headers =
+    [ "|CF| ratio"; "Prune time (ms)"; "Exhaustive time (ms)";
+      "Prune complete"; "Exhaustive complete"; "Prune invoked";
+      "Exhaustive invoked"; "budget hit" ]
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Fig 6b-d: Prune-GEACC vs exhaustive search (|V|=%d, |U|=%d, \
+            c_v~U[1,%d], c_u~U[1,%d])"
+           n_events n_users cv cu)
+      ~headers
+  in
+  List.iter
+    (fun r ->
+      Printf.eprintf "[bench] fig6: |CF| ratio = %.2f\n%!" r;
+      let cfg =
+        {
+          Synthetic.default with
+          Synthetic.n_events;
+          n_users;
+          event_capacity = Synthetic.Cap_uniform cv;
+          user_capacity = Synthetic.Cap_uniform cu;
+          conflict_ratio = r;
+        }
+      in
+      let instance = Synthetic.generate ~seed:1 cfg in
+      let (m1, st1), t_prune = Measure.time (fun () -> Exact.solve instance) in
+      let (m2, st2), t_exh =
+        Measure.time (fun () ->
+            Exact.solve ~pruning:false ~warm_start:false
+              ~budget:fig6_exhaustive_budget instance)
+      in
+      (* Both must agree on the optimum when neither was budget-limited. *)
+      if not st2.Exact.exhausted_budget then
+        assert (Float.abs (Matching.maxsum m1 -. Matching.maxsum m2) < 1e-6);
+      Table.add_row table
+        [
+          Printf.sprintf "%.2f" r;
+          Printf.sprintf "%.2f" (t_prune *. 1000.);
+          Printf.sprintf "%.2f" (t_exh *. 1000.);
+          string_of_int st1.Exact.complete_searches;
+          string_of_int st2.Exact.complete_searches;
+          string_of_int st1.Exact.invocations;
+          string_of_int st2.Exact.invocations;
+          string_of_bool st2.Exact.exhausted_budget;
+        ])
+    [ 0.; 0.25; 0.5; 0.75; 1. ];
+  Table.print table
+
+(* -- Ablations (beyond the paper): design-choice studies ---------------- *)
+
+(* Greedy-GEACC's lazy NN-stream enumeration vs materialising and sorting
+   all |V|x|U| pairs. Same arrangement by construction; the ablation
+   quantifies the time/memory gap that justifies the index machinery. *)
+let ablation_greedy profile =
+  let us =
+    if profile.full then [ 1_000; 5_000; 10_000; 25_000; 50_000 ]
+    else [ 1_000; 5_000; 10_000 ]
+  in
+  let table =
+    Table.create
+      ~title:
+        "Ablation: Greedy-GEACC heap+NN-streams vs naive sort-all-pairs \
+         (|V|=100)"
+      ~headers:
+        [ "|U|"; "stream time (ms)"; "naive time (ms)"; "stream mem (MB)";
+          "naive mem (MB)"; "MaxSum equal" ]
+  in
+  List.iter
+    (fun n_users ->
+      Printf.eprintf "[bench] ablation-greedy: |U| = %d\n%!" n_users;
+      let cfg = { Synthetic.default with Synthetic.n_users } in
+      let make () = Synthetic.generate ~seed:1 cfg in
+      let m1, t1 = Measure.time (fun () -> Greedy.solve (make ())) in
+      let _, mem1 = Measure.run_with_peak (fun () -> Greedy.solve (make ())) in
+      let m2, t2 = Measure.time (fun () -> Greedy_naive.solve (make ())) in
+      let _, mem2 =
+        Measure.run_with_peak (fun () -> Greedy_naive.solve (make ()))
+      in
+      Table.add_row table
+        [
+          string_of_int n_users;
+          Printf.sprintf "%.1f" (t1 *. 1000.);
+          Printf.sprintf "%.1f" (t2 *. 1000.);
+          Printf.sprintf "%.1f" (float_of_int mem1 /. 1048576.);
+          Printf.sprintf "%.1f" (float_of_int mem2 /. 1048576.);
+          string_of_bool
+            (Float.abs (Matching.maxsum m1 -. Matching.maxsum m2) < 1e-9);
+        ])
+    us;
+  Table.print table
+
+(* Prune-GEACC's two ingredients — the Lemma 6 bound and the Greedy warm
+   start — toggled independently. *)
+let ablation_prune profile =
+  let n_events, n_users, cv, cu = fig6_settings profile in
+  let cfg =
+    {
+      Synthetic.default with
+      Synthetic.n_events;
+      n_users;
+      event_capacity = Synthetic.Cap_uniform cv;
+      user_capacity = Synthetic.Cap_uniform cu;
+    }
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Ablation: exact-search ingredients (|V|=%d, |U|=%d); mean of 3 \
+            seeds" n_events n_users)
+      ~headers:[ "variant"; "invocations"; "complete"; "time (ms)" ]
+  in
+  let variants =
+    [
+      ("bound + warm start + user-side bound", `Tightened);
+      ("bound + warm start (Prune-GEACC)", `Config (true, true));
+      ("bound only", `Config (true, false));
+      ("no bound (exhaustive)", `Config (false, false));
+    ]
+  in
+  List.iter
+    (fun (label, variant) ->
+      Printf.eprintf "[bench] ablation-prune: %s\n%!" label;
+      let inv = Stats.create ()
+      and complete = Stats.create ()
+      and time = Stats.create () in
+      for seed = 1 to 3 do
+        let t = Synthetic.generate ~seed cfg in
+        let (_, st), secs =
+          Measure.time (fun () ->
+              match variant with
+              | `Tightened ->
+                  Exact.solve ~tighten:true ~budget:fig6_exhaustive_budget t
+              | `Config (pruning, warm_start) ->
+                  Exact.solve ~pruning ~warm_start
+                    ~budget:fig6_exhaustive_budget t)
+        in
+        Stats.add inv (float_of_int st.Exact.invocations);
+        Stats.add complete (float_of_int st.Exact.complete_searches);
+        Stats.add time (secs *. 1000.)
+      done;
+      Table.add_row table
+        [
+          label;
+          Printf.sprintf "%.0f" (Stats.mean inv);
+          Printf.sprintf "%.0f" (Stats.mean complete);
+          Printf.sprintf "%.1f" (Stats.mean time);
+        ])
+    variants;
+  Table.print table
+
+(* The index backends the paper names as candidates (kd-tree stand-in for
+   best-first search, VA-File, iDistance) against the linear-scan baseline:
+   identical arrangements by construction, differing sigma(S) costs. *)
+let ablation_index profile =
+  let cfg =
+    if profile.full then { Synthetic.default with Synthetic.n_users = 2000 }
+    else { Synthetic.default with Synthetic.n_users = 1000 }
+  in
+  let table =
+    Table.create
+      ~title:
+        (Format.asprintf
+           "Ablation: NN index backends under Greedy-GEACC (%a)"
+           Synthetic.pp_config cfg)
+      ~headers:
+        [ "backend"; "time (ms)"; "mem (MB)"; "MaxSum" ]
+  in
+  List.iter
+    (fun (b : Geacc_index.Nn_backend.t) ->
+      Printf.eprintf "[bench] ablation-index: %s\n%!" b.Geacc_index.Nn_backend.name;
+      let make () = Synthetic.generate ~seed:1 ~backend:b cfg in
+      let m, secs = Measure.time (fun () -> Greedy.solve (make ())) in
+      let _, mem = Measure.run_with_peak (fun () -> Greedy.solve (make ())) in
+      Table.add_row table
+        [
+          b.Geacc_index.Nn_backend.name;
+          Printf.sprintf "%.1f" (secs *. 1000.);
+          Printf.sprintf "%.1f" (float_of_int mem /. 1048576.);
+          Printf.sprintf "%.2f" (Matching.maxsum m);
+        ])
+    Geacc_index.Nn_backend.all;
+  Table.print table
+
+(* Local-search post-optimisation: how much of the greedy-vs-optimal gap
+   the replace moves recover (extension beyond the paper). *)
+let ablation_local_search profile =
+  let trials = Stdlib.max profile.trials 10 in
+  let cfg =
+    {
+      Synthetic.default with
+      Synthetic.n_events = 5;
+      n_users = 12;
+      event_capacity = Synthetic.Cap_uniform 5;
+      user_capacity = Synthetic.Cap_uniform 2;
+    }
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Ablation: local-search post-optimisation (|V|=5, |U|=12, %d \
+            seeds)" trials)
+      ~headers:
+        [ "|CF| ratio"; "Greedy/Opt"; "Greedy+LS/Opt"; "gap closed (%)" ]
+  in
+  List.iter
+    (fun r ->
+      let g = Stats.create () and ls = Stats.create () and opt = Stats.create () in
+      for seed = 1 to trials do
+        let t =
+          Synthetic.generate ~seed { cfg with Synthetic.conflict_ratio = r }
+        in
+        let o, st = Exact.solve ~tighten:true ~budget:exact_budget t in
+        if not st.Exact.exhausted_budget then begin
+          Stats.add g (Matching.maxsum (Greedy.solve t));
+          Stats.add ls (Matching.maxsum (Local_search.solve t));
+          Stats.add opt (Matching.maxsum o)
+        end
+      done;
+      let g = Stats.mean g and ls = Stats.mean ls and opt = Stats.mean opt in
+      let gap_closed =
+        if opt -. g < 1e-9 then 100. else 100. *. (ls -. g) /. (opt -. g)
+      in
+      Table.add_row table
+        [
+          Printf.sprintf "%.2f" r;
+          Printf.sprintf "%.4f" (g /. opt);
+          Printf.sprintf "%.4f" (ls /. opt);
+          Printf.sprintf "%.1f" gap_closed;
+        ])
+    [ 0.; 0.25; 0.5; 0.75; 1. ];
+  Table.print table
+
+(* Online arrivals vs the offline algorithms: the price of irrevocable,
+   on-arrival decisions (extension beyond the paper). *)
+let ablation_online profile =
+  let trials = Stdlib.max profile.trials 10 in
+  let cfg =
+    {
+      Synthetic.default with
+      Synthetic.n_events = 5;
+      n_users = 12;
+      event_capacity = Synthetic.Cap_uniform 5;
+      user_capacity = Synthetic.Cap_uniform 2;
+    }
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Ablation: online arrivals vs offline (|V|=5, |U|=12, %d seeds)"
+           trials)
+      ~headers:[ "|CF| ratio"; "Online/Opt"; "Greedy/Opt"; "Online/Greedy" ]
+  in
+  List.iter
+    (fun r ->
+      let online = Stats.create ()
+      and greedy = Stats.create ()
+      and opt = Stats.create () in
+      for seed = 1 to trials do
+        let t =
+          Synthetic.generate ~seed { cfg with Synthetic.conflict_ratio = r }
+        in
+        let o, st = Exact.solve ~tighten:true ~budget:exact_budget t in
+        if not st.Exact.exhausted_budget then begin
+          let rng = Rng.create ~seed in
+          Stats.add online
+            (Matching.maxsum (Online.solve_random_order ~rng t));
+          Stats.add greedy (Matching.maxsum (Greedy.solve t));
+          Stats.add opt (Matching.maxsum o)
+        end
+      done;
+      let online = Stats.mean online
+      and greedy = Stats.mean greedy
+      and opt = Stats.mean opt in
+      Table.add_row table
+        [
+          Printf.sprintf "%.2f" r;
+          Printf.sprintf "%.4f" (online /. opt);
+          Printf.sprintf "%.4f" (greedy /. opt);
+          Printf.sprintf "%.4f" (online /. greedy);
+        ])
+    [ 0.; 0.25; 0.5; 0.75; 1. ];
+  Table.print table
+
+(* -- registry ----------------------------------------------------------- *)
+
+let all : (string * string * (profile -> unit)) list =
+  [
+    ("fig3-v", "Fig 3 col 1: MaxSum/time/memory vs |V|", fig3_v);
+    ("fig3-u", "Fig 3 col 2: MaxSum/time/memory vs |U|", fig3_u);
+    ("fig3-d", "Fig 3 col 3: MaxSum/time/memory vs d", fig3_d);
+    ("fig3-cf", "Fig 3 col 4: MaxSum/time/memory vs |CF|", fig3_cf);
+    ("fig4-cv", "Fig 4 col 1: MaxSum/time/memory vs max c_v", fig4_cv);
+    ("fig4-cu", "Fig 4 col 2: MaxSum/time/memory vs max c_u", fig4_cu);
+    ("fig4-dist", "Fig 4 col 3: Zipf/Normal distributions", fig4_dist);
+    ("fig4-real", "Fig 4 col 4: simulated Meetup (Auckland)", fig4_real);
+    ("fig5-scal", "Fig 5a,b: Greedy-GEACC scalability", fig5_scalability);
+    ("fig5-approx", "Fig 5c,d: approximation quality vs exact", fig5_approx);
+    ("fig6-depth", "Fig 6a: average pruned depth", fig6_prune_depth);
+    ("fig6-search", "Fig 6b-d: Prune vs exhaustive search", fig6_vs_exhaustive);
+    ( "ablation-greedy",
+      "Ablation: NN-stream greedy vs sort-all-pairs greedy",
+      ablation_greedy );
+    ( "ablation-prune",
+      "Ablation: Lemma 6 bound and warm start toggled",
+      ablation_prune );
+    ( "ablation-ls",
+      "Ablation: local-search post-optimisation of Greedy",
+      ablation_local_search );
+    ( "ablation-index",
+      "Ablation: kd / linear / VA-File / iDistance backends",
+      ablation_index );
+    ( "ablation-online",
+      "Ablation: online arrivals vs offline algorithms",
+      ablation_online );
+  ]

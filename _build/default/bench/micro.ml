@@ -1,0 +1,94 @@
+(* Bechamel micro-benchmarks of the solver kernels and substrates: one
+   Test.make per experiment family, all run from the same executable as the
+   paper-figure harness. Reported as mean ns/run from the OLS fit. *)
+
+open Bechamel
+module Solver = Geacc_core.Solver
+module Synthetic = Geacc_datagen.Synthetic
+
+let small_instance =
+  lazy
+    (Synthetic.generate ~seed:1
+       {
+         Synthetic.default with
+         Synthetic.n_events = 20;
+         n_users = 100;
+       })
+
+let tiny_instance =
+  lazy
+    (Synthetic.generate ~seed:1
+       {
+         Synthetic.default with
+         Synthetic.n_events = 5;
+         n_users = 12;
+         event_capacity = Synthetic.Cap_uniform 5;
+         user_capacity = Synthetic.Cap_uniform 2;
+       })
+
+let solver_test name algorithm instance_lazy =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let instance = Lazy.force instance_lazy in
+         ignore (Solver.run algorithm instance)))
+
+let heap_test =
+  Test.make ~name:"binary-heap push/pop 1k"
+    (Staged.stage (fun () ->
+         let h = Geacc_pqueue.Binary_heap.create ~cmp:Int.compare () in
+         for i = 0 to 999 do
+           Geacc_pqueue.Binary_heap.push h ((i * 7919) mod 1000)
+         done;
+         while not (Geacc_pqueue.Binary_heap.is_empty h) do
+           ignore (Geacc_pqueue.Binary_heap.pop_exn h)
+         done))
+
+let kd_test =
+  let points =
+    Array.init 2000 (fun i ->
+        Array.init 8 (fun k -> float_of_int ((i * (k + 13)) mod 997)))
+  in
+  let tree = lazy (Geacc_index.Kd_tree.build points) in
+  Test.make ~name:"kd-tree 10-NN query (2k pts, d=8)"
+    (Staged.stage (fun () ->
+         let tree = Lazy.force tree in
+         ignore
+           (Geacc_index.Kd_tree.nearest tree
+              (Array.init 8 (fun k -> float_of_int (100 * k)))
+              ~k:10)))
+
+let tests =
+  Test.make_grouped ~name:"geacc"
+    [
+      solver_test "Greedy-GEACC (20x100)" Solver.Greedy small_instance;
+      solver_test "MinCostFlow-GEACC (20x100)" Solver.Min_cost_flow
+        small_instance;
+      solver_test "Random-V (20x100)" Solver.Random_v small_instance;
+      solver_test "Prune-GEACC (5x12)" Solver.Prune tiny_instance;
+      heap_test;
+      kd_test;
+    ]
+
+let run () =
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.6) ~kde:None () in
+  let raw =
+    Benchmark.all cfg
+      [ Toolkit.Instance.monotonic_clock ]
+      tests
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let table =
+    Geacc_util.Table.create ~title:"Micro-benchmarks (Bechamel, OLS fit)"
+      ~headers:[ "benchmark"; "ns/run" ]
+  in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ ns ] ->
+          Geacc_util.Table.add_row table [ name; Printf.sprintf "%.0f" ns ]
+      | _ -> Geacc_util.Table.add_row table [ name; "n/a" ])
+    results;
+  Geacc_util.Table.print table

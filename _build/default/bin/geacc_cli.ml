@@ -1,0 +1,266 @@
+(* geacc: command-line front end for the GEACC library.
+
+   Subcommands: generate (synthetic / meetup instances), solve, validate,
+   info. Exit codes: 0 success, 1 usage/parse error, 2 infeasible matching
+   (validate). *)
+
+open Cmdliner
+open Geacc_core
+
+let setup_logs style_renderer level =
+  Fmt_tty.setup_std_outputs ?style_renderer ();
+  Logs.set_level level;
+  Logs.set_reporter (Logs_fmt.reporter ())
+
+let logs_term =
+  Term.(const setup_logs $ Fmt_cli.style_renderer () $ Logs_cli.level ())
+
+(* -- shared arguments ------------------------------------------------- *)
+
+let seed_arg =
+  let doc = "Random seed (all generation and baselines are deterministic)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let instance_arg =
+  let doc = "Path to a geacc-instance file." in
+  Arg.(required & opt (some file) None & info [ "instance"; "i" ] ~docv:"FILE" ~doc)
+
+let backend_conv =
+  let parse s =
+    Geacc_index.Nn_backend.of_string s |> Result.map_error (fun e -> `Msg e)
+  in
+  let print ppf (b : Geacc_index.Nn_backend.t) =
+    Format.pp_print_string ppf b.Geacc_index.Nn_backend.name
+  in
+  Arg.conv (parse, print)
+
+let index_arg =
+  Arg.(
+    value
+    & opt (some backend_conv) None
+    & info [ "index" ] ~docv:"BACKEND"
+        ~doc:
+          "NN index backend serving the solvers' neighbour queries: kd \
+           (default), linear, vafile or idistance.")
+
+let algorithm_conv =
+  let parse s = Solver.of_string s |> Result.map_error (fun e -> `Msg e) in
+  let print ppf a = Format.pp_print_string ppf (Solver.short_name a) in
+  Arg.conv (parse, print)
+
+(* -- generate --------------------------------------------------------- *)
+
+let attrs_conv =
+  let parse = function
+    | "uniform" -> Ok Geacc_datagen.Synthetic.Attr_uniform
+    | "zipf" -> Ok (Geacc_datagen.Synthetic.Attr_zipf 1.3)
+    | "normal" -> Ok Geacc_datagen.Synthetic.Attr_normal_mixture
+    | s -> Error (`Msg (Printf.sprintf "unknown attribute model %S" s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf
+      (match m with
+      | Geacc_datagen.Synthetic.Attr_uniform -> "uniform"
+      | Geacc_datagen.Synthetic.Attr_zipf _ -> "zipf"
+      | Geacc_datagen.Synthetic.Attr_normal_mixture -> "normal")
+  in
+  Arg.conv (parse, print)
+
+let city_conv =
+  let parse s =
+    let s = String.lowercase_ascii s in
+    match
+      List.find_opt
+        (fun (c : Geacc_datagen.Meetup.city) ->
+          String.lowercase_ascii c.Geacc_datagen.Meetup.name = s)
+        Geacc_datagen.Meetup.cities
+    with
+    | Some c -> Ok c
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown city %S (vancouver, auckland, singapore)"
+                s))
+  in
+  let print ppf (c : Geacc_datagen.Meetup.city) =
+    Format.pp_print_string ppf c.Geacc_datagen.Meetup.name
+  in
+  Arg.conv (parse, print)
+
+let generate_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output instance file.")
+  in
+  let events =
+    Arg.(value & opt int 100 & info [ "events" ] ~docv:"N" ~doc:"Number of events |V|.")
+  in
+  let users =
+    Arg.(value & opt int 1000 & info [ "users" ] ~docv:"N" ~doc:"Number of users |U|.")
+  in
+  let dim = Arg.(value & opt int 20 & info [ "dim" ] ~docv:"D" ~doc:"Attribute dimensionality.") in
+  let tmax = Arg.(value & opt float 10000. & info [ "tmax" ] ~docv:"T" ~doc:"Attribute range T.") in
+  let attrs =
+    Arg.(
+      value
+      & opt attrs_conv Geacc_datagen.Synthetic.Attr_uniform
+      & info [ "attrs" ] ~docv:"MODEL" ~doc:"Attribute model: uniform, zipf or normal.")
+  in
+  let cv_max =
+    Arg.(value & opt int 50 & info [ "cv-max" ] ~docv:"N" ~doc:"Event capacities Uniform[1,N].")
+  in
+  let cu_max =
+    Arg.(value & opt int 4 & info [ "cu-max" ] ~docv:"N" ~doc:"User capacities Uniform[1,N].")
+  in
+  let conflict_ratio =
+    Arg.(
+      value & opt float 0.25
+      & info [ "conflict-ratio" ] ~docv:"R"
+          ~doc:"Conflicting fraction of event pairs, in [0,1].")
+  in
+  let meetup =
+    Arg.(
+      value
+      & opt (some city_conv) None
+      & info [ "meetup" ] ~docv:"CITY"
+          ~doc:
+            "Generate the simulated Meetup dataset for CITY instead of the \
+             synthetic model (vancouver, auckland or singapore).")
+  in
+  let run () out events users dim tmax attrs cv_max cu_max conflict_ratio
+      meetup seed =
+    let instance =
+      match meetup with
+      | Some city ->
+          Geacc_datagen.Meetup.generate ~seed ~conflict_ratio city
+      | None ->
+          Geacc_datagen.Synthetic.generate ~seed
+            {
+              Geacc_datagen.Synthetic.n_events = events;
+              n_users = users;
+              dim;
+              t_max = tmax;
+              attrs;
+              event_capacity = Geacc_datagen.Synthetic.Cap_uniform cv_max;
+              user_capacity = Geacc_datagen.Synthetic.Cap_uniform cu_max;
+              conflict_ratio;
+            }
+    in
+    Geacc_io.Instance_io.write_instance ~path:out instance;
+    Logs.app (fun m ->
+        m "wrote %s: %a" out Instance.pp_summary instance)
+  in
+  let term =
+    Term.(
+      const run $ logs_term $ out $ events $ users $ dim $ tmax $ attrs
+      $ cv_max $ cu_max $ conflict_ratio $ meetup $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic or simulated-Meetup instance.")
+    term
+
+(* -- solve ------------------------------------------------------------ *)
+
+let solve_cmd =
+  let algorithm =
+    Arg.(
+      value
+      & opt algorithm_conv Solver.Greedy
+      & info [ "algorithm"; "a" ] ~docv:"ALGO"
+          ~doc:
+            "Algorithm: greedy, mincostflow, prune, exhaustive, random-v or \
+             random-u.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the matching to FILE.")
+  in
+  let run () instance_path algorithm out seed backend =
+    let instance = Geacc_io.Instance_io.read_instance ~path:instance_path in
+    let instance =
+      match backend with
+      | None -> instance
+      | Some b -> Instance.with_backend instance b
+    in
+    let m =
+      Geacc_bench.Harness.measure ~seed algorithm (fun () -> instance)
+    in
+    Printf.printf "algorithm: %s\nMaxSum: %.6f\nmatched pairs: %d\ntime: %.3f ms\nmemory: %.1f KB\n"
+      (Solver.name m.Geacc_bench.Harness.algorithm)
+      m.Geacc_bench.Harness.maxsum m.Geacc_bench.Harness.matched_pairs
+      (m.Geacc_bench.Harness.wall_s *. 1000.)
+      (float_of_int m.Geacc_bench.Harness.live_bytes /. 1024.);
+    match out with
+    | None -> ()
+    | Some path ->
+        let rng = Geacc_util.Rng.create ~seed in
+        let matching = Solver.run ~rng algorithm instance in
+        Geacc_io.Instance_io.write_pairs ~path (Matching.pairs matching);
+        Logs.app (fun f -> f "wrote matching to %s" path)
+  in
+  let term =
+    Term.(
+      const run $ logs_term $ instance_arg $ algorithm $ out $ seed_arg
+      $ index_arg)
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Solve an instance and report MaxSum/time/memory.")
+    term
+
+(* -- validate ---------------------------------------------------------- *)
+
+let validate_cmd =
+  let matching_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "matching"; "m" ] ~docv:"FILE" ~doc:"Path to a geacc-matching file.")
+  in
+  let run () instance_path matching_path =
+    let instance = Geacc_io.Instance_io.read_instance ~path:instance_path in
+    let pairs = Geacc_io.Instance_io.read_pairs ~path:matching_path in
+    match Validate.check instance pairs with
+    | [] ->
+        let maxsum =
+          List.fold_left
+            (fun acc (v, u) -> acc +. Instance.sim instance ~v ~u)
+            0. pairs
+        in
+        Printf.printf "feasible: %d pairs, MaxSum %.6f\n" (List.length pairs)
+          maxsum;
+        `Ok ()
+    | violations ->
+        List.iter
+          (fun v ->
+            Format.eprintf "violation: %a@." Validate.pp_violation v)
+          violations;
+        `Error (false, Printf.sprintf "%d violations" (List.length violations))
+  in
+  let term =
+    Term.(ret (const run $ logs_term $ instance_arg $ matching_arg))
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Check a matching file against an instance.")
+    term
+
+(* -- info -------------------------------------------------------------- *)
+
+let info_cmd =
+  let run () instance_path =
+    let instance = Geacc_io.Instance_io.read_instance ~path:instance_path in
+    Format.printf "%a@." Instance.pp_summary instance
+  in
+  let term = Term.(const run $ logs_term $ instance_arg) in
+  Cmd.v (Cmd.info "info" ~doc:"Print summary statistics of an instance.") term
+
+let main =
+  let doc = "Conflict-aware event-participant arrangement (GEACC, ICDE 2015)" in
+  Cmd.group
+    (Cmd.info "geacc" ~version:"1.0.0" ~doc)
+    [ generate_cmd; solve_cmd; validate_cmd; info_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/city_meetup.ml: Format Geacc_bench Geacc_core Geacc_datagen Geacc_util Instance List Printf Solver

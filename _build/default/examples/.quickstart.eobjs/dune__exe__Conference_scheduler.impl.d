@@ -1,0 +1,1 @@
+examples/conference_scheduler.ml: Array Entity Filename Float Format Geacc_core Geacc_datagen Geacc_io Geacc_util Greedy Instance List Matching Printf Similarity Validate

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Conflict Entity Format Geacc_core Instance List Matching Printf Similarity Solver Validate

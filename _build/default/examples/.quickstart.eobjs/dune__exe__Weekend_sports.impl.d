@@ -1,0 +1,1 @@
+examples/weekend_sports.ml: Array Conflict Entity Exact Format Geacc_core Geacc_datagen Greedy Instance List Matching Printf Similarity String Validate

@@ -1,0 +1,1 @@
+examples/weekend_sports.mli:

@@ -1,0 +1,67 @@
+(* Quickstart: the paper's running example (TABLE I).
+
+   Three events, five users, one conflicting event pair. Shows how to build
+   an instance with a custom similarity, run every algorithm, and inspect
+   the arrangements. Expected numbers (paper Examples 1-3): the optimum is
+   4.39, MinCostFlow-GEACC finds 4.13, Greedy-GEACC finds 4.28.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Geacc_core
+
+(* TABLE I: interestingness of each event (row) for each user (column). *)
+let interest =
+  [|
+    [| 0.93; 0.43; 0.84; 0.64; 0.65 |];
+    [| 0.00; 0.35; 0.19; 0.21; 0.40 |];
+    [| 0.86; 0.57; 0.78; 0.79; 0.68 |];
+  |]
+
+let event_capacities = [ 5; 3; 2 ]
+let user_capacities = [ 3; 1; 1; 2; 3 ]
+
+let build_instance () =
+  (* The similarities are given directly by the table rather than derived
+     from attribute vectors, so each entity's single attribute is its own
+     id and the similarity function is a table lookup. *)
+  let sim =
+    Similarity.custom ~name:"table1" (fun event_attr user_attr ->
+        interest.(int_of_float event_attr.(0)).(int_of_float user_attr.(0)))
+  in
+  let side capacities =
+    Array.of_list
+      (List.mapi
+         (fun id capacity ->
+           Entity.make ~id ~attrs:[| float_of_int id |] ~capacity)
+         capacities)
+  in
+  (* v1 and v3 (ids 0 and 2) conflict: no user may attend both. *)
+  let conflicts = Conflict.of_pairs ~n_events:3 [ (0, 2) ] in
+  Instance.create ~sim
+    ~events:(side event_capacities)
+    ~users:(side user_capacities)
+    ~conflicts ()
+
+let show_arrangement instance matching =
+  List.iter
+    (fun (v, u) ->
+      Printf.printf "    v%d <- u%d  (sim %.2f)\n" (v + 1) (u + 1)
+        (Instance.sim instance ~v ~u))
+    (Matching.pairs matching)
+
+let () =
+  let instance = build_instance () in
+  Format.printf "Instance: %a@.@." Instance.pp_summary instance;
+  List.iter
+    (fun algorithm ->
+      let matching = Solver.run algorithm instance in
+      assert (Validate.check_matching matching = []);
+      Printf.printf "%-18s MaxSum = %.2f, %d pairs\n"
+        (Solver.name algorithm) (Matching.maxsum matching)
+        (Matching.size matching);
+      show_arrangement instance matching)
+    [ Solver.Prune; Solver.Min_cost_flow; Solver.Greedy ];
+  print_newline ();
+  print_endline
+    "Note how u1, the most interesting user for both v1 and v3, is assigned\n\
+     to only one of them: v1 and v3 conflict.";

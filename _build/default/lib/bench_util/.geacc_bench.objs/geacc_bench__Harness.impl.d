@@ -1,0 +1,1 @@
+lib/bench_util/harness.ml: Format Geacc_core Geacc_util List Matching Measure Rng Solver Stats Validate

@@ -1,0 +1,1 @@
+lib/bench_util/harness.mli: Geacc_core

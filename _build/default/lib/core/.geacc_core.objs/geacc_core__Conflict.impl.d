@@ -1,0 +1,1 @@
+lib/core/conflict.ml: Array Format Int List Printf Set

@@ -1,0 +1,1 @@
+lib/core/entity.mli: Format Geacc_index

@@ -1,0 +1,1 @@
+lib/core/greedy.ml: Array Float Geacc_pqueue Hashtbl Instance Int Matching

@@ -1,0 +1,1 @@
+lib/core/greedy_naive.ml: Array Float Instance Int Matching

@@ -1,0 +1,1 @@
+lib/core/greedy_naive.mli: Instance Matching

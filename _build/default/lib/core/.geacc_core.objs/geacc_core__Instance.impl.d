@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array Conflict Entity Float Format Geacc_index Int Printf Similarity Stdlib

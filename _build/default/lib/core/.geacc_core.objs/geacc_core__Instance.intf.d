@@ -1,0 +1,1 @@
+lib/core/instance.mli: Conflict Entity Format Geacc_index Similarity

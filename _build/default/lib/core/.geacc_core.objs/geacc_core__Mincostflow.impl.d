@@ -1,0 +1,1 @@
+lib/core/mincostflow.ml: Array Conflict Float Geacc_flow Instance Int List Matching

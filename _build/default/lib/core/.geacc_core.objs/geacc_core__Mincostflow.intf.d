@@ -1,0 +1,1 @@
+lib/core/mincostflow.mli: Instance Matching

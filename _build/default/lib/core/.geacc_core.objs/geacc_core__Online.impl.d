@@ -1,0 +1,1 @@
+lib/core/online.ml: Array Fun Geacc_util Instance Matching

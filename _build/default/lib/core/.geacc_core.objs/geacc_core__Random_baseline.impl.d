@@ -1,0 +1,1 @@
+lib/core/random_baseline.ml: Geacc_util Instance Matching

@@ -1,0 +1,1 @@
+lib/core/random_baseline.mli: Geacc_util Instance Matching

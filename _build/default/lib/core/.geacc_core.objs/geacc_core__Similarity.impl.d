@@ -1,0 +1,1 @@
+lib/core/similarity.ml: Array Format Geacc_index Printf

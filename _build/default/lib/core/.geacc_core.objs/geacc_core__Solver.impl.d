@@ -1,0 +1,1 @@
+lib/core/solver.ml: Exact Geacc_util Greedy Greedy_naive List Local_search Mincostflow Online Printf Random_baseline String

@@ -1,0 +1,1 @@
+lib/core/solver.mli: Geacc_util Instance Matching

@@ -1,0 +1,1 @@
+lib/core/validate.ml: Array Conflict Float Format Hashtbl Instance List Matching Printf

@@ -1,0 +1,64 @@
+module Int_set = Set.Make (Int)
+
+type t = {
+  n_events : int;
+  adjacency : Int_set.t array;
+  mutable cardinal : int;
+}
+
+let create ~n_events =
+  if n_events < 0 then invalid_arg "Conflict.create: negative n_events";
+  { n_events; adjacency = Array.make n_events Int_set.empty; cardinal = 0 }
+
+let n_events t = t.n_events
+
+let check_id t v =
+  if v < 0 || v >= t.n_events then
+    invalid_arg (Printf.sprintf "Conflict: event id %d out of range" v)
+
+let add t v w =
+  check_id t v;
+  check_id t w;
+  if v = w then invalid_arg "Conflict.add: an event cannot conflict with itself";
+  if not (Int_set.mem w t.adjacency.(v)) then begin
+    t.adjacency.(v) <- Int_set.add w t.adjacency.(v);
+    t.adjacency.(w) <- Int_set.add v t.adjacency.(w);
+    t.cardinal <- t.cardinal + 1
+  end
+
+let mem t v w =
+  check_id t v;
+  check_id t w;
+  v <> w && Int_set.mem w t.adjacency.(v)
+
+let cardinal t = t.cardinal
+
+let degree t v =
+  check_id t v;
+  Int_set.cardinal t.adjacency.(v)
+
+let iter_conflicting t v f =
+  check_id t v;
+  Int_set.iter f t.adjacency.(v)
+
+let iter_pairs t f =
+  Array.iteri
+    (fun v set -> Int_set.iter (fun w -> if v < w then f v w) set)
+    t.adjacency
+
+let of_pairs ~n_events pairs =
+  let t = create ~n_events in
+  List.iter (fun (v, w) -> add t v w) pairs;
+  t
+
+let ratio t =
+  if t.n_events < 2 then 0.
+  else
+    float_of_int t.cardinal
+    /. (float_of_int t.n_events *. float_of_int (t.n_events - 1) /. 2.)
+
+let copy t =
+  { n_events = t.n_events; adjacency = Array.copy t.adjacency; cardinal = t.cardinal }
+
+let pp ppf t =
+  Format.fprintf ppf "CF(%d pairs, ratio %.3f)" t.cardinal (ratio t)

@@ -1,0 +1,40 @@
+(** The conflict set CF: a symmetric relation over event ids.
+
+    Two conflicting events cannot both be assigned to the same user (paper
+    Definition 3). Self-conflicts are rejected; adding a pair twice is a
+    no-op. Membership is O(log deg); enumeration of a node's conflicting
+    events is O(deg). *)
+
+type t
+
+val create : n_events:int -> t
+(** Empty relation over event ids [0 .. n_events-1]. *)
+
+val n_events : t -> int
+
+val add : t -> int -> int -> unit
+(** [add t v w] marks [{v,w}] conflicting. Requires [v <> w] and both ids in
+    range. *)
+
+val mem : t -> int -> int -> bool
+(** Symmetric membership; [mem t v v] is [false]. *)
+
+val cardinal : t -> int
+(** Number of (unordered) conflicting pairs. *)
+
+val degree : t -> int -> int
+
+val iter_conflicting : t -> int -> (int -> unit) -> unit
+(** All events conflicting with the given one. *)
+
+val iter_pairs : t -> (int -> int -> unit) -> unit
+(** Each unordered pair once, with [v < w]. *)
+
+val of_pairs : n_events:int -> (int * int) list -> t
+
+val ratio : t -> float
+(** [|CF| / (|V|·(|V|-1)/2)], the x-axis of the paper's conflict sweeps; 0
+    when there are fewer than two events. *)
+
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,13 @@
+type t = { id : int; attrs : Geacc_index.Point.t; capacity : int }
+
+let make ~id ~attrs ~capacity =
+  if id < 0 then invalid_arg "Entity.make: negative id";
+  if capacity < 0 then invalid_arg "Entity.make: negative capacity";
+  if Array.length attrs = 0 then invalid_arg "Entity.make: empty attributes";
+  { id; attrs; capacity }
+
+let dim t = Array.length t.attrs
+
+let pp ppf t =
+  Format.fprintf ppf "#%d(cap=%d, %a)" t.id t.capacity Geacc_index.Point.pp
+    t.attrs

@@ -1,0 +1,19 @@
+(** Events and users.
+
+    Both sides of the arrangement share one shape (paper Definitions 1–2):
+    a dense attribute vector [l] in [\[0,T\]^d] and a capacity — the maximum
+    number of attendees for an event, the maximum number of assigned events
+    for a user. The [id] of an entity is its index within its side's array
+    in an {!Instance.t}. *)
+
+type t = {
+  id : int;
+  attrs : Geacc_index.Point.t;
+  capacity : int;
+}
+
+val make : id:int -> attrs:float array -> capacity:int -> t
+(** Requires [id >= 0], [capacity >= 0] and a non-empty attribute vector. *)
+
+val dim : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,202 @@
+type stats = {
+  invocations : int;
+  complete_searches : int;
+  prunes : int;
+  prune_depth_total : int;
+  max_depth : int;
+  exhausted_budget : bool;
+}
+
+exception Budget_exhausted
+
+type searcher = {
+  instance : Instance.t;
+  order : int array;        (* event ids in descending s_v * c_v *)
+  suffix_bound : float array;
+      (* suffix_bound.(i) = sum over positions k >= i of s_k * c_k;
+         suffix_bound.(|L|) = 0 *)
+  user_best : float array;  (* s_u: each user's best similarity *)
+  mutable user_slack : float;
+      (* sum over users of remaining capacity * s_u — an admissible bound
+         on all future gain from the user side (0 when disabled) *)
+  tighten : bool;
+  current : Matching.t;
+  mutable best : Matching.t;
+  mutable best_maxsum : float;
+  pruning : bool;
+  budget : int;
+  mutable invocations : int;
+  mutable complete_searches : int;
+  mutable prunes : int;
+  mutable prune_depth_total : int;
+  mutable max_depth : int;
+}
+
+let epsilon = 1e-12
+
+let nearest_sim instance v =
+  match Instance.event_neighbor instance ~v ~rank:1 with
+  | Some (_, s) -> s
+  | None -> 0.
+
+let user_nearest_sim instance u =
+  match Instance.user_neighbor instance ~u ~rank:1 with
+  | Some (_, s) -> s
+  | None -> 0.
+
+let build_order instance =
+  let n = Instance.n_events instance in
+  let weight = Array.init n (fun v ->
+      nearest_sim instance v *. float_of_int (Instance.event_capacity instance v))
+  in
+  let order = Array.init n (fun v -> v) in
+  Array.sort
+    (fun v1 v2 ->
+      let c = Float.compare weight.(v2) weight.(v1) in
+      if c <> 0 then c else Int.compare v1 v2)
+    order;
+  let suffix = Array.make (n + 1) 0. in
+  for i = n - 1 downto 0 do
+    suffix.(i) <- suffix.(i + 1) +. weight.(order.(i))
+  done;
+  (order, suffix)
+
+let record_depth s depth = if depth > s.max_depth then s.max_depth <- depth
+
+let record_prune s depth =
+  s.prunes <- s.prunes + 1;
+  s.prune_depth_total <- s.prune_depth_total + depth
+
+(* Has the current matching beaten the incumbent? First-found wins ties so
+   the search is deterministic. *)
+let complete s =
+  s.complete_searches <- s.complete_searches + 1;
+  if Matching.maxsum s.current > s.best_maxsum +. epsilon then begin
+    s.best <- Matching.copy s.current;
+    s.best_maxsum <- Matching.maxsum s.current
+  end
+
+(* [search s pos rank depth] decides the state of the pair made of the event
+   at position [pos] of the order and its [rank]-th nearest user
+   (Algorithm 4); [continue_from] implements lines 6-17, choosing the next
+   pair to visit and applying the Lemma 6 bound before descending. *)
+let rec search s pos rank depth =
+  if s.invocations >= s.budget then raise Budget_exhausted;
+  s.invocations <- s.invocations + 1;
+  record_depth s depth;
+  let v = s.order.(pos) in
+  match Instance.event_neighbor s.instance ~v ~rank with
+  | None ->
+      (* No pair to decide at this level: the event has fewer than [rank]
+         positive-similarity users. Move on to the next event. *)
+      next_event s pos depth
+  | Some (u, _) ->
+      (match Matching.check_add s.current ~v ~u with
+      | None ->
+          (* State 1: matched. *)
+          let (_ : float) = Matching.add_exn s.current ~v ~u in
+          s.user_slack <- s.user_slack -. s.user_best.(u);
+          continue_from s pos rank depth;
+          s.user_slack <- s.user_slack +. s.user_best.(u);
+          Matching.remove_exn s.current ~v ~u
+      | Some _ -> ());
+      (* State 2: unmatched. *)
+      continue_from s pos rank depth
+
+and continue_from s pos rank depth =
+  let v = s.order.(pos) in
+  let next = Instance.event_neighbor s.instance ~v ~rank:(rank + 1) in
+  let capacity_left = Matching.remaining_event_capacity s.current v in
+  match next with
+  | Some (_, next_sim) when capacity_left > 0 ->
+      (* Stay on this event, try its next nearest user. Bound: everything
+         still open is at most the later events' s·c plus this event's
+         remaining capacity filled at the next user's similarity. *)
+      let future =
+        let event_side =
+          s.suffix_bound.(pos + 1) +. (next_sim *. float_of_int capacity_left)
+        in
+        if s.tighten then Float.min event_side s.user_slack else event_side
+      in
+      let bound = Matching.maxsum s.current +. future in
+      if (not s.pruning) || bound > s.best_maxsum +. epsilon then
+        search s pos (rank + 1) (depth + 1)
+      else record_prune s depth
+  | Some _ | None -> next_event s pos depth
+
+and next_event s pos depth =
+  if pos + 1 >= Array.length s.order then complete s
+  else begin
+    let future =
+      if s.tighten then Float.min s.suffix_bound.(pos + 1) s.user_slack
+      else s.suffix_bound.(pos + 1)
+    in
+    let bound = Matching.maxsum s.current +. future in
+    if (not s.pruning) || bound > s.best_maxsum +. epsilon then
+      search s (pos + 1) 1 (depth + 1)
+    else record_prune s depth
+  end
+
+let solve ?(pruning = true) ?warm_start ?(tighten = false) ?budget instance =
+  let warm_start = match warm_start with Some w -> w | None -> pruning in
+  let order, suffix_bound = build_order instance in
+  let best = if warm_start then Greedy.solve instance else Matching.create instance in
+  let n_users = Instance.n_users instance in
+  let user_best =
+    if tighten then Array.init n_users (fun u -> user_nearest_sim instance u)
+    else Array.make n_users 0.
+  in
+  let user_slack =
+    if tighten then begin
+      let acc = ref 0. in
+      for u = 0 to n_users - 1 do
+        acc :=
+          !acc
+          +. (float_of_int (Instance.user_capacity instance u) *. user_best.(u))
+      done;
+      !acc
+    end
+    else 0.
+  in
+  let s =
+    {
+      instance;
+      order;
+      suffix_bound;
+      user_best;
+      user_slack;
+      tighten;
+      current = Matching.create instance;
+      best;
+      best_maxsum = Matching.maxsum best;
+      pruning;
+      budget = (match budget with Some b -> b | None -> max_int);
+      invocations = 0;
+      complete_searches = 0;
+      prunes = 0;
+      prune_depth_total = 0;
+      max_depth = 0;
+    }
+  in
+  let exhausted =
+    if Array.length order = 0 then false
+    else
+      try
+        search s 0 1 1;
+        false
+      with Budget_exhausted -> true
+  in
+  ( s.best,
+    {
+      invocations = s.invocations;
+      complete_searches = s.complete_searches;
+      prunes = s.prunes;
+      prune_depth_total = s.prune_depth_total;
+      max_depth = s.max_depth;
+      exhausted_budget = exhausted;
+    } )
+
+let solve_prune instance = fst (solve instance)
+
+let solve_exhaustive instance =
+  fst (solve ~pruning:false ~warm_start:false instance)

@@ -1,0 +1,108 @@
+module Heap = Geacc_pqueue.Binary_heap
+
+type candidate = { sim : float; v : int; u : int }
+
+(* Max-heap on similarity; ties by ascending (v,u) for determinism. *)
+let candidate_cmp c1 c2 =
+  let c = Float.compare c2.sim c1.sim in
+  if c <> 0 then c
+  else
+    let c = Int.compare c1.v c2.v in
+    if c <> 0 then c else Int.compare c1.u c2.u
+
+type state = {
+  instance : Instance.t;
+  matching : Matching.t;
+  heap : candidate Heap.t;
+  pushed : (int, unit) Hashtbl.t;  (* pairs ever pushed; key v * |U| + u *)
+  event_rank : int array;  (* next NN rank to examine per event *)
+  user_rank : int array;
+}
+
+let pair_key st ~v ~u = (v * Instance.n_users st.instance) + u
+
+let was_pushed st ~v ~u = Hashtbl.mem st.pushed (pair_key st ~v ~u)
+
+let mark_pushed st ~v ~u = Hashtbl.replace st.pushed (pair_key st ~v ~u) ()
+
+(* Would adding {v,u} right now violate a capacity or conflict constraint?
+   All three conditions are monotone: once true they stay true, which is
+   what lets the rank cursors advance permanently past such neighbours. *)
+let infeasible st ~v ~u =
+  Matching.remaining_event_capacity st.matching v <= 0
+  || Matching.remaining_user_capacity st.matching u <= 0
+  || Matching.user_conflicts_with st.matching ~u ~v
+
+(* Advance [v]'s cursor to its next feasible neighbour that has never been
+   pushed, and push that pair. Neighbours already pushed (possibly still in
+   the heap) are skipped permanently: they will be, or have been, processed
+   when popped. *)
+let refill_event st v =
+  let rec scan () =
+    match Instance.event_neighbor st.instance ~v ~rank:st.event_rank.(v) with
+    | None -> ()
+    | Some (u, sim) ->
+        if was_pushed st ~v ~u || infeasible st ~v ~u then begin
+          st.event_rank.(v) <- st.event_rank.(v) + 1;
+          scan ()
+        end
+        else begin
+          mark_pushed st ~v ~u;
+          Heap.push st.heap { sim; v; u };
+          st.event_rank.(v) <- st.event_rank.(v) + 1
+        end
+  in
+  scan ()
+
+let refill_user st u =
+  let rec scan () =
+    match Instance.user_neighbor st.instance ~u ~rank:st.user_rank.(u) with
+    | None -> ()
+    | Some (v, sim) ->
+        if was_pushed st ~v ~u || infeasible st ~v ~u then begin
+          st.user_rank.(u) <- st.user_rank.(u) + 1;
+          scan ()
+        end
+        else begin
+          mark_pushed st ~v ~u;
+          Heap.push st.heap { sim; v; u };
+          st.user_rank.(u) <- st.user_rank.(u) + 1
+        end
+  in
+  scan ()
+
+let solve instance =
+  let st =
+    {
+      instance;
+      matching = Matching.create instance;
+      heap = Heap.create ~cmp:candidate_cmp ();
+      pushed = Hashtbl.create 1024;
+      event_rank = Array.make (Instance.n_events instance) 1;
+      user_rank = Array.make (Instance.n_users instance) 1;
+    }
+  in
+  (* Initialisation (Algorithm 2, lines 1-9): each node contributes its
+     first NN pair; duplicate pairs are pushed once. *)
+  for v = 0 to Instance.n_events instance - 1 do
+    if Instance.event_capacity instance v > 0 then refill_event st v
+  done;
+  for u = 0 to Instance.n_users instance - 1 do
+    if Instance.user_capacity instance u > 0 then refill_user st u
+  done;
+  (* Iteration (lines 11-23): pop the most similar candidate, match it when
+     feasible, then refill from both endpoints that still have capacity. *)
+  let rec loop () =
+    match Heap.pop st.heap with
+    | None -> ()
+    | Some { v; u; _ } ->
+        (match Matching.add st.matching ~v ~u with
+        | Ok _ | Error _ -> ());
+        if Matching.remaining_event_capacity st.matching v > 0 then
+          refill_event st v;
+        if Matching.remaining_user_capacity st.matching u > 0 then
+          refill_user st u;
+        loop ()
+  in
+  loop ();
+  st.matching

@@ -1,0 +1,16 @@
+(** Greedy-GEACC (paper Algorithm 2, approximation ratio 1/(1+α)).
+
+    Maintains a max-heap of candidate pairs, seeded with each node's nearest
+    neighbour on the opposite side; repeatedly pops the globally most
+    similar candidate, adds it when feasible, and refills the heap with the
+    popped nodes' next feasible unvisited neighbours. Infeasibility is
+    monotone during the run (capacities only shrink, assignments only grow),
+    so each node keeps a rank cursor that never moves backwards and each
+    pair enters the heap at most once — at most |V|·|U| iterations, each
+    O(log(|V|+|U|) + σ) where σ is the incremental-NN cost.
+
+    The returned matching is maximal: no feasible pair can be added
+    (Lemma 5). Deterministic: ties in similarity break by (event, user)
+    id. *)
+
+val solve : Instance.t -> Matching.t

@@ -1,0 +1,13 @@
+(** Reference implementation of Greedy-GEACC without the index machinery.
+
+    Materialises {e every} positive-similarity pair, sorts them once in
+    descending similarity (ties by event then user id) and adds each
+    feasible pair in order. This processes candidate pairs in exactly the
+    order Algorithm 2 pops them from its heap, and feasibility at
+    processing time is monotone, so the arrangement is {e identical} to
+    {!Greedy.solve} — which makes this both a cross-checking oracle in the
+    test suite and the ablation baseline quantifying what the lazy
+    NN-stream enumeration buys (Θ(|V|·|U|) memory and a full sort vs.
+    touching only the neighbours actually visited). *)
+
+val solve : Instance.t -> Matching.t

@@ -1,0 +1,89 @@
+type stats = { rounds : int; moves_accepted : int; gained : float }
+
+(* Best feasible pair touching event [v] or user [u] — excluding the
+   banned pair — by (sim, v, u) order. *)
+let best_incident m instance ~banned ~v ~u =
+  let best = ref None in
+  let consider v' u' =
+    if (v', u') <> banned && Matching.check_add m ~v:v' ~u:u' = None then begin
+      let s = Instance.sim instance ~v:v' ~u:u' in
+      match !best with
+      | Some (s0, v0, u0) when (s0, -v0, -u0) >= (s, -v', -u') -> ()
+      | _ -> best := Some (s, v', u')
+    end
+  in
+  for u' = 0 to Instance.n_users instance - 1 do
+    consider v u'
+  done;
+  for v' = 0 to Instance.n_events instance - 1 do
+    consider v' u
+  done;
+  !best
+
+(* One replace move: pull (v,u) out, refill greedily from the incident
+   pairs — the removed pair itself is banned, otherwise the refill would
+   just put it back — and keep the refill only if MaxSum strictly
+   improved. *)
+let try_replace m instance ~v ~u =
+  let before = Matching.maxsum m in
+  Matching.remove_exn m ~v ~u;
+  let added = ref [] in
+  let rec refill () =
+    match best_incident m instance ~banned:(v, u) ~v ~u with
+    | Some (_, v', u') ->
+        let (_ : float) = Matching.add_exn m ~v:v' ~u:u' in
+        added := (v', u') :: !added;
+        refill ()
+    | None -> ()
+  in
+  refill ();
+  if Matching.maxsum m > before +. 1e-12 then true
+  else begin
+    (* Revert: drop the refill, restore the original pair. *)
+    List.iter (fun (v', u') -> Matching.remove_exn m ~v:v' ~u:u') !added;
+    let (_ : float) = Matching.add_exn m ~v ~u in
+    false
+  end
+
+let add_all_feasible m instance =
+  let added = ref 0 in
+  for v = 0 to Instance.n_events instance - 1 do
+    if Matching.remaining_event_capacity m v > 0 then
+      for u = 0 to Instance.n_users instance - 1 do
+        match Matching.add m ~v ~u with
+        | Ok _ -> incr added
+        | Error _ -> ()
+      done
+  done;
+  !added
+
+let improve ?(max_rounds = 8) m =
+  if max_rounds < 1 then invalid_arg "Local_search.improve: max_rounds < 1";
+  let instance = Matching.instance m in
+  let initial = Matching.maxsum m in
+  let moves = ref 0 in
+  let rounds = ref 0 in
+  let progressed = ref true in
+  while !progressed && !rounds < max_rounds do
+    incr rounds;
+    progressed := false;
+    if add_all_feasible m instance > 0 then progressed := true;
+    List.iter
+      (fun (v, u) ->
+        (* The pair may already have been displaced by an earlier move. *)
+        if Matching.mem m ~v ~u && try_replace m instance ~v ~u then begin
+          incr moves;
+          progressed := true
+        end)
+      (Matching.pairs m)
+  done;
+  {
+    rounds = !rounds;
+    moves_accepted = !moves;
+    gained = Matching.maxsum m -. initial;
+  }
+
+let solve ?max_rounds instance =
+  let m = Greedy.solve instance in
+  let (_ : stats) = improve ?max_rounds m in
+  m

@@ -1,0 +1,134 @@
+type reject =
+  | Event_full
+  | User_full
+  | Zero_similarity
+  | Conflicting_event of int
+  | Duplicate
+
+type t = {
+  instance : Instance.t;
+  present : (int, unit) Hashtbl.t;  (* key: v * n_users + u *)
+  event_load : int array;
+  user_load : int array;
+  user_events : int list array;
+  mutable size : int;
+  mutable maxsum : float;
+}
+
+let create instance =
+  {
+    instance;
+    present = Hashtbl.create 64;
+    event_load = Array.make (Instance.n_events instance) 0;
+    user_load = Array.make (Instance.n_users instance) 0;
+    user_events = Array.make (Instance.n_users instance) [];
+    size = 0;
+    maxsum = 0.;
+  }
+
+let instance t = t.instance
+
+let key t ~v ~u = (v * Instance.n_users t.instance) + u
+
+let mem t ~v ~u = Hashtbl.mem t.present (key t ~v ~u)
+
+let user_conflicts_with t ~u ~v =
+  let cf = Instance.conflicts t.instance in
+  List.exists (fun v' -> Conflict.mem cf v v') t.user_events.(u)
+
+let check_add t ~v ~u =
+  if mem t ~v ~u then Some Duplicate
+  else if t.event_load.(v) >= Instance.event_capacity t.instance v then
+    Some Event_full
+  else if t.user_load.(u) >= Instance.user_capacity t.instance u then
+    Some User_full
+  else if Instance.sim t.instance ~v ~u <= 0. then Some Zero_similarity
+  else
+    let cf = Instance.conflicts t.instance in
+    match List.find_opt (fun v' -> Conflict.mem cf v v') t.user_events.(u) with
+    | Some v' -> Some (Conflicting_event v')
+    | None -> None
+
+let add t ~v ~u =
+  match check_add t ~v ~u with
+  | Some reason -> Error reason
+  | None ->
+      let s = Instance.sim t.instance ~v ~u in
+      Hashtbl.replace t.present (key t ~v ~u) ();
+      t.event_load.(v) <- t.event_load.(v) + 1;
+      t.user_load.(u) <- t.user_load.(u) + 1;
+      t.user_events.(u) <- v :: t.user_events.(u);
+      t.size <- t.size + 1;
+      t.maxsum <- t.maxsum +. s;
+      Ok s
+
+let reject_to_string = function
+  | Event_full -> "event capacity exhausted"
+  | User_full -> "user capacity exhausted"
+  | Zero_similarity -> "zero similarity"
+  | Conflicting_event v -> Printf.sprintf "conflicts with assigned event %d" v
+  | Duplicate -> "pair already matched"
+
+let add_exn t ~v ~u =
+  match add t ~v ~u with
+  | Ok s -> s
+  | Error reason ->
+      invalid_arg
+        (Printf.sprintf "Matching.add_exn (%d,%d): %s" v u
+           (reject_to_string reason))
+
+let remove_first x list =
+  let rec go acc = function
+    | [] -> invalid_arg "Matching.remove_exn: internal inconsistency"
+    | y :: rest when y = x -> List.rev_append acc rest
+    | y :: rest -> go (y :: acc) rest
+  in
+  go [] list
+
+let remove_exn t ~v ~u =
+  if not (mem t ~v ~u) then
+    invalid_arg (Printf.sprintf "Matching.remove_exn: pair (%d,%d) absent" v u);
+  Hashtbl.remove t.present (key t ~v ~u);
+  t.event_load.(v) <- t.event_load.(v) - 1;
+  t.user_load.(u) <- t.user_load.(u) - 1;
+  t.user_events.(u) <- remove_first v t.user_events.(u);
+  t.size <- t.size - 1;
+  t.maxsum <- t.maxsum -. Instance.sim t.instance ~v ~u
+
+let size t = t.size
+let maxsum t = t.maxsum
+
+let pairs t =
+  let n_users = Instance.n_users t.instance in
+  Hashtbl.fold (fun k () acc -> (k / n_users, k mod n_users) :: acc) t.present []
+  |> List.sort compare
+
+let maxsum_recomputed t =
+  List.fold_left
+    (fun acc (v, u) -> acc +. Instance.sim t.instance ~v ~u)
+    0. (pairs t)
+
+let user_events t u = t.user_events.(u)
+let event_load t v = t.event_load.(v)
+let user_load t u = t.user_load.(u)
+
+let remaining_event_capacity t v =
+  Instance.event_capacity t.instance v - t.event_load.(v)
+
+let remaining_user_capacity t u =
+  Instance.user_capacity t.instance u - t.user_load.(u)
+
+let copy t =
+  {
+    instance = t.instance;
+    present = Hashtbl.copy t.present;
+    event_load = Array.copy t.event_load;
+    user_load = Array.copy t.user_load;
+    user_events = Array.copy t.user_events;
+    size = t.size;
+    maxsum = t.maxsum;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "M(|M|=%d, MaxSum=%.4f):" t.size t.maxsum;
+  List.iter (fun (v, u) -> Format.fprintf ppf " (v%d,u%d)" v u) (pairs t)

@@ -1,0 +1,63 @@
+(** An event-participant arrangement M under construction.
+
+    Tracks, incrementally: pair membership, per-side remaining capacities,
+    per-user assigned events (for O(deg) conflict checks) and the running
+    MaxSum. {!add} enforces every GEACC constraint, so a matching built
+    through this interface is feasible by construction; solvers that
+    backtrack undo with {!remove_exn}. *)
+
+type t
+
+type reject =
+  | Event_full
+  | User_full
+  | Zero_similarity
+  | Conflicting_event of int
+      (** The user already holds this conflicting event. *)
+  | Duplicate
+
+val create : Instance.t -> t
+(** Empty arrangement for the instance. *)
+
+val instance : t -> Instance.t
+
+val check_add : t -> v:int -> u:int -> reject option
+(** [None] iff [{v,u}] can be added right now. *)
+
+val add : t -> v:int -> u:int -> (float, reject) result
+(** Adds the pair and returns its similarity, or the reason it is
+    infeasible. *)
+
+val add_exn : t -> v:int -> u:int -> float
+(** @raise Invalid_argument when the pair is infeasible. *)
+
+val remove_exn : t -> v:int -> u:int -> unit
+(** Removes a present pair, restoring capacities and MaxSum.
+    @raise Invalid_argument when the pair is absent. *)
+
+val mem : t -> v:int -> u:int -> bool
+val size : t -> int
+
+val maxsum : t -> float
+(** Incrementally-maintained objective. *)
+
+val maxsum_recomputed : t -> float
+(** Objective recomputed from scratch (drift oracle for tests). *)
+
+val user_events : t -> int -> int list
+(** Events currently assigned to a user (unspecified order). *)
+
+val event_load : t -> int -> int
+val user_load : t -> int -> int
+val remaining_event_capacity : t -> int -> int
+val remaining_user_capacity : t -> int -> int
+
+val user_conflicts_with : t -> u:int -> v:int -> bool
+(** Would assigning event [v] to user [u] clash with an event [u] already
+    holds? *)
+
+val pairs : t -> (int * int) list
+(** All matched pairs sorted lexicographically. *)
+
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

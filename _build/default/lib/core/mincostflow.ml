@@ -1,0 +1,98 @@
+module Graph = Geacc_flow.Graph
+module Mcf = Geacc_flow.Mcf
+
+type stats = {
+  flow_value : int;
+  flow_cost : float;
+  augmentations : int;
+  dropped_pairs : int;
+}
+
+(* Node layout: 0 = source; 1..|V| = events; |V|+1..|V|+|U| = users; last =
+   sink. *)
+let build_network instance =
+  let n_v = Instance.n_events instance and n_u = Instance.n_users instance in
+  let source = 0 in
+  let event_node v = 1 + v in
+  let user_node u = 1 + n_v + u in
+  let sink = 1 + n_v + n_u in
+  let g = Graph.create ~num_nodes:(sink + 1) in
+  for v = 0 to n_v - 1 do
+    ignore
+      (Graph.add_arc g ~src:source ~dst:(event_node v)
+         ~capacity:(Instance.event_capacity instance v) ~cost:0.)
+  done;
+  (* One arc per (v,u) pair, zero-similarity pairs included, as in the
+     paper's construction. *)
+  let vu_arc = Array.make (n_v * n_u) (-1) in
+  for v = 0 to n_v - 1 do
+    for u = 0 to n_u - 1 do
+      let cost = 1. -. Instance.sim instance ~v ~u in
+      vu_arc.((v * n_u) + u) <-
+        Graph.add_arc g ~src:(event_node v) ~dst:(user_node u) ~capacity:1 ~cost
+    done
+  done;
+  for u = 0 to n_u - 1 do
+    ignore
+      (Graph.add_arc g ~src:(user_node u) ~dst:sink
+         ~capacity:(Instance.user_capacity instance u) ~cost:0.)
+  done;
+  (g, source, sink, vu_arc)
+
+let solve_with_stats instance =
+  let n_u = Instance.n_users instance in
+  let g, source, sink, vu_arc = build_network instance in
+  (* A unit of flow adds 1 - path_cost to MaxSum; path costs only grow, so
+     stopping before the first non-improving unit lands on the Δ with the
+     largest MaxSum (the paper's argmax over Δ_min..Δ_max). *)
+  let outcome =
+    Mcf.solve g ~source ~sink
+      ~should_augment:(fun ~path_cost -> path_cost < 1.)
+      ()
+  in
+  (* M_∅: pairs carrying flow with positive similarity. *)
+  let assigned = Array.make n_u [] in
+  for v = 0 to Instance.n_events instance - 1 do
+    for u = 0 to n_u - 1 do
+      let a = vu_arc.((v * n_u) + u) in
+      if Graph.flow g a = 1 then begin
+        let s = Instance.sim instance ~v ~u in
+        if s > 0. then assigned.(u) <- (v, s) :: assigned.(u)
+      end
+    done
+  done;
+  (* Conflict resolution (Algorithm 1, lines 8-14): per user, keep events in
+     descending similarity, skipping any that conflict with one already
+     kept — a greedy max-weight independent set. *)
+  let matching = Matching.create instance in
+  let dropped = ref 0 in
+  let cf = Instance.conflicts instance in
+  Array.iteri
+    (fun u events ->
+      let sorted =
+        List.sort
+          (fun (v1, s1) (v2, s2) ->
+            let c = Float.compare s2 s1 in
+            if c <> 0 then c else Int.compare v1 v2)
+          events
+      in
+      let kept = ref [] in
+      List.iter
+        (fun (v, _) ->
+          if List.exists (fun v' -> Conflict.mem cf v v') !kept then incr dropped
+          else begin
+            kept := v :: !kept;
+            let (_ : float) = Matching.add_exn matching ~v ~u in
+            ()
+          end)
+        sorted)
+    assigned;
+  ( matching,
+    {
+      flow_value = outcome.Mcf.flow;
+      flow_cost = outcome.Mcf.cost;
+      augmentations = outcome.Mcf.augmentations;
+      dropped_pairs = !dropped;
+    } )
+
+let solve instance = fst (solve_with_stats instance)

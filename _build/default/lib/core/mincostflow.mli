@@ -1,0 +1,30 @@
+(** MinCostFlow-GEACC (paper Algorithm 1, approximation ratio 1/α where α =
+    max user capacity).
+
+    Step 1 ignores conflicts: the instance becomes a flow network
+    (source → events with capacity [c_v], arc per (v,u) pair with capacity 1
+    and cost [1 - sim], users → sink with capacity [c_u]) and the paper's
+    sweep of min-cost flows over Δ ∈ [Δ_min, Δ_max] is realised as one
+    successive-shortest-path run: after the k-th augmentation the network
+    carries the min-cost flow of amount k, and since per-unit path costs are
+    non-decreasing, MaxSum(Δ) = Δ − cost(Δ) is concave — the run stops just
+    before the first unit whose path cost reaches 1, which is exactly the Δ
+    maximising MaxSum. The resulting M_∅ is optimal for CF = ∅ (Lemma 1).
+
+    Step 2 restores feasibility: per user, a greedy max-weight independent
+    set over their assigned events (keep in descending similarity, skip
+    conflicting).
+
+    Every (v,u) arc exists — including zero-similarity ones — so the network
+    has Θ(|V|·|U|) arcs; this is the paper's "quartic, not scalable"
+    algorithm. *)
+
+type stats = {
+  flow_value : int;        (** Δ actually routed (the argmax Δ). *)
+  flow_cost : float;       (** Cost of that flow. *)
+  augmentations : int;     (** Shortest-path computations that pushed flow. *)
+  dropped_pairs : int;     (** Pairs removed by conflict resolution. *)
+}
+
+val solve : Instance.t -> Matching.t
+val solve_with_stats : Instance.t -> Matching.t * stats

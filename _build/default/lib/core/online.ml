@@ -1,0 +1,42 @@
+let check_permutation instance order =
+  let n = Instance.n_users instance in
+  if Array.length order <> n then
+    invalid_arg "Online.solve: order length differs from |U|";
+  let seen = Array.make n false in
+  Array.iter
+    (fun u ->
+      if u < 0 || u >= n || seen.(u) then
+        invalid_arg "Online.solve: order is not a permutation of the users";
+      seen.(u) <- true)
+    order
+
+(* Serve one arrival: walk the user's neighbour ranks (descending
+   similarity), taking every event that is feasible right now, until the
+   user is full or the ranks run out. *)
+let serve matching instance u =
+  let rec walk rank =
+    if Matching.remaining_user_capacity matching u > 0 then
+      match Instance.user_neighbor instance ~u ~rank with
+      | None -> ()
+      | Some (v, _) ->
+          (match Matching.add matching ~v ~u with Ok _ | Error _ -> ());
+          walk (rank + 1)
+  in
+  walk 1
+
+let solve ?order instance =
+  let order =
+    match order with
+    | Some o ->
+        check_permutation instance o;
+        o
+    | None -> Array.init (Instance.n_users instance) Fun.id
+  in
+  let matching = Matching.create instance in
+  Array.iter (fun u -> serve matching instance u) order;
+  matching
+
+let solve_random_order ~rng instance =
+  let order = Array.init (Instance.n_users instance) Fun.id in
+  Geacc_util.Rng.shuffle_in_place rng order;
+  solve ~order instance

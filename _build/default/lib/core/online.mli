@@ -1,0 +1,21 @@
+(** Online event-participant arrangement (extension beyond the paper).
+
+    In a live EBSN users arrive over time and must be answered immediately;
+    the paper's conclusion points at such dynamic settings. This solver
+    processes users in an arrival order and irrevocably assigns each, on
+    arrival, their most interesting events greedily — best first — until
+    the user's capacity is filled or no feasible event remains (event
+    capacities deplete as earlier arrivals consume them; conflict
+    constraints apply within the user's own assignment).
+
+    The result is feasible by construction but can be far below the offline
+    algorithms — early arrivals lock up capacity of broadly popular
+    events — which the [ablation-online] benchmark quantifies against
+    Greedy-GEACC and the optimum. *)
+
+val solve : ?order:int array -> Instance.t -> Matching.t
+(** [order] is the arrival permutation of user ids (default: ascending).
+    @raise Invalid_argument if [order] is not a permutation of the users. *)
+
+val solve_random_order : rng:Geacc_util.Rng.t -> Instance.t -> Matching.t
+(** Arrival order drawn uniformly from the permutations of the users. *)

@@ -1,0 +1,25 @@
+module Rng = Geacc_util.Rng
+
+let random_v ~rng instance =
+  let m = Matching.create instance in
+  let n_u = float_of_int (Instance.n_users instance) in
+  for v = 0 to Instance.n_events instance - 1 do
+    let p = float_of_int (Instance.event_capacity instance v) /. n_u in
+    for u = 0 to Instance.n_users instance - 1 do
+      if Rng.bernoulli rng p then
+        match Matching.add m ~v ~u with Ok _ | Error _ -> ()
+    done
+  done;
+  m
+
+let random_u ~rng instance =
+  let m = Matching.create instance in
+  let n_v = float_of_int (Instance.n_events instance) in
+  for u = 0 to Instance.n_users instance - 1 do
+    let p = float_of_int (Instance.user_capacity instance u) /. n_v in
+    for v = 0 to Instance.n_events instance - 1 do
+      if Rng.bernoulli rng p then
+        match Matching.add m ~v ~u with Ok _ | Error _ -> ()
+    done
+  done;
+  m

@@ -1,0 +1,11 @@
+(** The paper's two random baselines (Section V).
+
+    Random-V iterates over events and offers each pair [{v,u}] membership
+    with probability [c_v / |U|]; Random-U iterates over users with
+    probability [c_u / |V|]. A pair is added only when it satisfies all
+    GEACC constraints at that moment, so both baselines always produce
+    feasible arrangements. Iteration order is ascending id; randomness comes
+    solely from the supplied generator. *)
+
+val random_v : rng:Geacc_util.Rng.t -> Instance.t -> Matching.t
+val random_u : rng:Geacc_util.Rng.t -> Instance.t -> Matching.t

@@ -1,0 +1,27 @@
+(** Independent feasibility checking.
+
+    Verifies a raw pair list against an instance without trusting
+    {!Matching}'s internal invariants — the test suite runs every solver's
+    output through this, and the CLI uses it to validate files. *)
+
+type violation =
+  | Event_id_out_of_range of int
+  | User_id_out_of_range of int
+  | Duplicate_pair of int * int
+  | Event_over_capacity of { v : int; load : int; capacity : int }
+  | User_over_capacity of { u : int; load : int; capacity : int }
+  | Non_positive_similarity of int * int
+  | Conflicting_assignment of { u : int; v1 : int; v2 : int }
+
+val check : Instance.t -> (int * int) list -> violation list
+(** All violations of the pair list, in deterministic order; [] iff the
+    arrangement is feasible. *)
+
+val is_feasible : Instance.t -> (int * int) list -> bool
+
+val check_matching : Matching.t -> violation list
+(** {!check} on [Matching.pairs], plus an internal-consistency comparison of
+    the incremental MaxSum against a recomputation (reported as
+    [Invalid_argument] if they drift beyond 1e-6). *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,1 @@
+lib/datagen/conflict_gen.ml: Array Conflict Float Geacc_core Geacc_util Rng Stdlib

@@ -1,0 +1,1 @@
+lib/datagen/conflict_gen.mli: Geacc_core Geacc_util

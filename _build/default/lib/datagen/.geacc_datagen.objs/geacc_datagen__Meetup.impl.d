@@ -1,0 +1,1 @@
+lib/datagen/meetup.ml: Array Conflict_gen Dist Entity Float Geacc_core Geacc_util Instance Rng Similarity Stdlib

@@ -1,0 +1,1 @@
+lib/datagen/meetup.mli: Geacc_core

@@ -1,0 +1,1 @@
+lib/datagen/synthetic.ml: Array Conflict_gen Dist Entity Float Format Geacc_core Geacc_util Instance Rng Similarity Stdlib

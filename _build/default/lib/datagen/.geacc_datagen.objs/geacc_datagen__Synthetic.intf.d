@@ -1,0 +1,1 @@
+lib/datagen/synthetic.mli: Format Geacc_core Geacc_index

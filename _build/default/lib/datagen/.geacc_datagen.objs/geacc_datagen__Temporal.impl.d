@@ -1,0 +1,1 @@
+lib/datagen/temporal.ml: Array Conflict Geacc_core Geacc_util Rng

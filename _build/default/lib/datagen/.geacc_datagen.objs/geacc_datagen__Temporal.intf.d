@@ -1,0 +1,1 @@
+lib/datagen/temporal.mli: Geacc_core Geacc_util

@@ -1,0 +1,13 @@
+(** Random conflict-set generation shared by the dataset generators.
+
+    The paper selects a uniform random subset of event pairs as CF, sized
+    by a ratio of [|V|·(|V|-1)/2]. *)
+
+val nth_pair : n:int -> int -> int * int
+(** [nth_pair ~n k] decodes flat index [k] (row-major over the strict upper
+    triangle) into the unordered pair [(v, w)], [v < w], of [n] items.
+    Requires [0 <= k < n·(n-1)/2]. *)
+
+val random : Geacc_util.Rng.t -> n_events:int -> ratio:float -> Geacc_core.Conflict.t
+(** A conflict set of [round (ratio · n·(n-1)/2)] distinct uniform pairs.
+    Requires [ratio] in [\[0, 1\]]. *)

@@ -1,0 +1,44 @@
+(** Simulated Meetup dataset (paper TABLE II).
+
+    The paper's real dataset assigns each user/event a 20-dimensional vector
+    of merged-tag weights: the count of the entity's original tags mapping
+    to each merged tag, normalised by the entity's total tag count. We do
+    not have the crawl, so this generator reproduces the vectors'
+    {e statistical shape}: every entity draws a number of original tags,
+    each original tag lands on one of 20 merged tags with Zipf-skewed
+    popularity (popular tags like "outdoor" attract most), and the vector is
+    the normalised histogram — sparse, non-negative, summing to 1.
+
+    Events inherit their group's tags in the paper; here event vectors are
+    drawn from the same tag process, and per-city cardinalities match
+    TABLE II exactly. Capacities and conflicts are generated, as in the
+    paper, from Uniform or Normal models and a conflict-pair ratio. *)
+
+type city = { name : string; n_events : int; n_users : int }
+
+(** "VA": 225 events, 2012 users. *)
+val vancouver : city
+
+(** 37 events, 569 users. *)
+val auckland : city
+
+(** 87 events, 1500 users. *)
+val singapore : city
+val cities : city list
+
+type capacity_setting =
+  | Cap_uniform  (** c_v ~ U[1,50], c_u ~ U[1,4] (TABLE II). *)
+  | Cap_normal  (** c_v ~ N(25,12.5), c_u ~ N(2,1), clamped >= 1. *)
+
+val n_merged_tags : int
+(** 20, the paper's number of merged-tag attributes. *)
+
+val generate :
+  seed:int ->
+  ?capacities:capacity_setting ->
+  ?conflict_ratio:float ->
+  city ->
+  Geacc_core.Instance.t
+(** Defaults: [capacities = Cap_uniform], [conflict_ratio = 0.25]. The
+    similarity is the paper's Equation (1) over the tag space
+    ([d = 20], [T = 1]). *)

@@ -1,0 +1,61 @@
+open Geacc_util
+open Geacc_core
+
+type schedule = {
+  start_time : float;
+  end_time : float;
+  location : float * float;
+}
+
+let make ~start_time ~end_time ?(location = (0., 0.)) () =
+  if end_time <= start_time then
+    invalid_arg "Temporal.make: end_time must exceed start_time";
+  { start_time; end_time; location }
+
+let overlaps s1 s2 = s1.start_time < s2.end_time && s2.start_time < s1.end_time
+
+let venue_distance s1 s2 =
+  let x1, y1 = s1.location and x2, y2 = s2.location in
+  let dx = x1 -. x2 and dy = y1 -. y2 in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let travel_time ~speed_kmh s1 s2 =
+  if speed_kmh <= 0. then invalid_arg "Temporal.travel_time: speed must be positive";
+  venue_distance s1 s2 /. speed_kmh
+
+let compatible ~speed_kmh s1 s2 =
+  if overlaps s1 s2 then false
+  else begin
+    (* Order by time; the gap must cover the trip. *)
+    let earlier, later =
+      if s1.end_time <= s2.start_time then (s1, s2) else (s2, s1)
+    in
+    later.start_time -. earlier.end_time >= travel_time ~speed_kmh s1 s2
+  end
+
+let conflicts_of ?(speed_kmh = 60.) schedules =
+  let n = Array.length schedules in
+  let cf = Conflict.create ~n_events:n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if not (compatible ~speed_kmh schedules.(i) schedules.(j)) then
+        Conflict.add cf i j
+    done
+  done;
+  cf
+
+let random_schedules ~rng ~n ?(horizon_h = 48.) ?(max_duration_h = 4.)
+    ?(area_km = 30.) () =
+  if n < 0 then invalid_arg "Temporal.random_schedules: negative n";
+  if max_duration_h <= 0.5 then
+    invalid_arg "Temporal.random_schedules: max_duration_h must exceed 0.5";
+  if horizon_h <= 0. || area_km <= 0. then
+    invalid_arg "Temporal.random_schedules: non-positive horizon or area";
+  Array.init n (fun _ ->
+      let start_time = Rng.float_in rng 0. horizon_h in
+      let duration = Rng.float_in rng 0.5 max_duration_h in
+      {
+        start_time;
+        end_time = start_time +. duration;
+        location = (Rng.float_in rng 0. area_km, Rng.float_in rng 0. area_km);
+      })

@@ -1,0 +1,45 @@
+(** Deriving conflict sets from event schedules.
+
+    The paper motivates CF with timetables and travel: two events conflict
+    when their time intervals overlap, or when the gap between them is too
+    short to travel between their venues (the intro's basketball court "one
+    hour away" from the badminton stadium). This module turns concrete
+    schedules into a {!Geacc_core.Conflict.t}, which the examples use and
+    which gives conflict sets with realistic structure (interval graphs plus
+    travel edges) as an alternative to uniform-random CF. *)
+
+type schedule = {
+  start_time : float;   (** Hours, on any common clock. *)
+  end_time : float;     (** Must satisfy [end_time > start_time]. *)
+  location : float * float;  (** Venue position, in km coordinates. *)
+}
+
+val make : start_time:float -> end_time:float -> ?location:float * float ->
+  unit -> schedule
+(** [location] defaults to the origin. *)
+
+val overlaps : schedule -> schedule -> bool
+(** Do the two half-open intervals [\[start, end)] intersect? *)
+
+val travel_time : speed_kmh:float -> schedule -> schedule -> float
+(** Euclidean venue distance divided by speed, in hours. *)
+
+val compatible : speed_kmh:float -> schedule -> schedule -> bool
+(** Can one person attend both events: no overlap, and the gap between them
+    covers the travel time. *)
+
+val conflicts_of : ?speed_kmh:float -> schedule array -> Geacc_core.Conflict.t
+(** Conflict set over the schedule array's indices: pair [{i,j}] conflicts
+    iff not [compatible]. [speed_kmh] defaults to 60. O(n²). *)
+
+val random_schedules :
+  rng:Geacc_util.Rng.t ->
+  n:int ->
+  ?horizon_h:float ->
+  ?max_duration_h:float ->
+  ?area_km:float ->
+  unit ->
+  schedule array
+(** [n] events with uniform start times in [\[0, horizon_h\]] (default 48),
+    durations in (0, max_duration_h\] (default 4) and venues uniform in an
+    [area_km]² square (default 30). *)

@@ -1,0 +1,1 @@
+lib/flow/mcf.ml: Array Float Graph Shortest_path Stdlib

@@ -1,0 +1,1 @@
+lib/flow/shortest_path.ml: Array Geacc_pqueue Graph

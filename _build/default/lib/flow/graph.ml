@@ -1,0 +1,123 @@
+type arc = int
+
+(* Arcs live in parallel growable arrays; arc [a]'s residual partner is
+   [a lxor 1]. Adjacency is an intrusive linked list: [head.(n)] is the first
+   arc leaving node [n], [next.(a)] the following one, -1 terminates. *)
+type t = {
+  num_nodes : int;
+  head : int array;
+  mutable next : int array;
+  mutable dst_ : int array;
+  mutable cap_ : int array;          (* residual capacity *)
+  mutable initial_cap : int array;   (* capacity at creation, for reset/flow *)
+  mutable cost_ : float array;
+  mutable count : int;
+}
+
+let create ~num_nodes =
+  assert (num_nodes >= 0);
+  {
+    num_nodes;
+    head = Array.make num_nodes (-1);
+    next = [||];
+    dst_ = [||];
+    cap_ = [||];
+    initial_cap = [||];
+    cost_ = [||];
+    count = 0;
+  }
+
+let node_count t = t.num_nodes
+let arc_count t = t.count
+
+let ensure_capacity t needed =
+  let current = Array.length t.next in
+  if needed > current then begin
+    let fresh = Stdlib.max needed (Stdlib.max 16 (2 * current)) in
+    let grow_int a = Array.append a (Array.make (fresh - current) 0) in
+    let grow_float a = Array.append a (Array.make (fresh - current) 0.) in
+    t.next <- grow_int t.next;
+    t.dst_ <- grow_int t.dst_;
+    t.cap_ <- grow_int t.cap_;
+    t.initial_cap <- grow_int t.initial_cap;
+    t.cost_ <- grow_float t.cost_
+  end
+
+let add_half t ~src ~dst ~capacity ~cost =
+  let a = t.count in
+  ensure_capacity t (a + 1);
+  t.dst_.(a) <- dst;
+  t.cap_.(a) <- capacity;
+  t.initial_cap.(a) <- capacity;
+  t.cost_.(a) <- cost;
+  t.next.(a) <- t.head.(src);
+  t.head.(src) <- a;
+  t.count <- a + 1;
+  a
+
+let add_arc t ~src ~dst ~capacity ~cost =
+  assert (capacity >= 0);
+  assert (src >= 0 && src < t.num_nodes && dst >= 0 && dst < t.num_nodes);
+  let a = add_half t ~src ~dst ~capacity ~cost in
+  let (_ : int) = add_half t ~src:dst ~dst:src ~capacity:0 ~cost:(-.cost) in
+  a
+
+let partner a = a lxor 1
+
+let check_arc t a =
+  assert (a >= 0 && a < t.count)
+
+let dst t a =
+  check_arc t a;
+  t.dst_.(a)
+
+let src t a =
+  check_arc t a;
+  (* The source of an arc is the destination of its partner. *)
+  t.dst_.(partner a)
+
+let cost t a =
+  check_arc t a;
+  t.cost_.(a)
+
+let residual_capacity t a =
+  check_arc t a;
+  t.cap_.(a)
+
+let flow t a =
+  check_arc t a;
+  if a land 1 <> 0 then invalid_arg "Graph.flow: residual arc";
+  t.initial_cap.(a) - t.cap_.(a)
+
+let push t a k =
+  check_arc t a;
+  assert (0 <= k && k <= t.cap_.(a));
+  t.cap_.(a) <- t.cap_.(a) - k;
+  t.cap_.(partner a) <- t.cap_.(partner a) + k
+
+let iter_out_arcs t n f =
+  assert (n >= 0 && n < t.num_nodes);
+  let a = ref t.head.(n) in
+  while !a >= 0 do
+    f !a;
+    a := t.next.(!a)
+  done
+
+let fold_forward_arcs t ~init ~f =
+  let acc = ref init in
+  let a = ref 0 in
+  while !a < t.count do
+    acc := f !acc !a;
+    a := !a + 2
+  done;
+  !acc
+
+let reset_flow t = Array.blit t.initial_cap 0 t.cap_ 0 t.count
+
+let excess t n =
+  assert (n >= 0 && n < t.num_nodes);
+  fold_forward_arcs t ~init:0 ~f:(fun acc a ->
+      let fl = flow t a in
+      if t.dst_.(a) = n then acc + fl
+      else if t.dst_.(partner a) = n then acc - fl
+      else acc)

@@ -1,0 +1,53 @@
+(** Residual flow network.
+
+    Arcs carry an integer capacity and a real cost per unit of flow. Every
+    call to {!add_arc} also creates the paired residual arc (zero capacity,
+    negated cost); pushing flow moves capacity between the pair. Arc ids are
+    dense integers; the residual partner of arc [a] is [a lxor 1], forward
+    (user-created) arcs are the even ids. *)
+
+type t
+
+type arc = int
+(** Arc identifier, index into the graph's arc store. *)
+
+val create : num_nodes:int -> t
+(** Network over nodes [0 .. num_nodes-1] with no arcs. *)
+
+val node_count : t -> int
+
+val arc_count : t -> int
+(** Number of arcs including residual partners (always even). *)
+
+val add_arc : t -> src:int -> dst:int -> capacity:int -> cost:float -> arc
+(** Adds a forward arc and its residual partner; returns the forward arc id.
+    Requires [capacity >= 0] and valid node ids. *)
+
+val src : t -> arc -> int
+val dst : t -> arc -> int
+val cost : t -> arc -> float
+
+val residual_capacity : t -> arc -> int
+(** Remaining capacity of [a] in the residual network. *)
+
+val flow : t -> arc -> int
+(** Flow currently carried by a {e forward} arc: capacity moved to its
+    residual partner. Requires an even (forward) arc id. *)
+
+val push : t -> arc -> int -> unit
+(** [push g a k] sends [k] units along [a]: decreases [a]'s residual
+    capacity, increases its partner's. Requires
+    [0 <= k <= residual_capacity g a]. *)
+
+val iter_out_arcs : t -> int -> (arc -> unit) -> unit
+(** Iterates all arc ids leaving a node (forward and residual alike);
+    callers filter by {!residual_capacity}. *)
+
+val fold_forward_arcs : t -> init:'a -> f:('a -> arc -> 'a) -> 'a
+(** Folds over the user-created (even) arcs in insertion order. *)
+
+val reset_flow : t -> unit
+(** Returns every arc to zero flow. *)
+
+val excess : t -> int -> int
+(** Net inflow minus outflow at a node (flow-conservation check hook). *)

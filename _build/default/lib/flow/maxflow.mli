@@ -1,0 +1,9 @@
+(** Maximum flow by Edmonds–Karp (BFS augmenting paths), O(V·E²).
+
+    Used to compute the realisable Δ_max of a GEACC flow network and as an
+    independent oracle for the SSP solver in tests (a min-cost flow run to
+    saturation must route exactly the max-flow value). *)
+
+val solve : Graph.t -> source:int -> sink:int -> int
+(** Pushes a maximum flow from source to sink (flow is left in the graph)
+    and returns its value. *)

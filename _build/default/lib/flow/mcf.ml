@@ -1,0 +1,77 @@
+type outcome = { flow : int; cost : float; augmentations : int }
+
+exception Negative_cycle
+
+let has_negative_arc g =
+  Graph.fold_forward_arcs g ~init:false ~f:(fun acc a ->
+      acc || (Graph.residual_capacity g a > 0 && Graph.cost g a < 0.))
+
+let initial_potential g ~source =
+  if not (has_negative_arc g) then Array.make (Graph.node_count g) 0.
+  else
+    match Shortest_path.bellman_ford g ~source with
+    | None -> raise Negative_cycle
+    | Some { dist; _ } ->
+        (* Unreachable nodes keep potential 0; they have no residual arcs
+           from the reachable region, so their reduced costs never matter. *)
+        Array.map (fun d -> if d = infinity then 0. else d) dist
+
+let solve g ~source ~sink ?target_flow ?(should_augment = fun ~path_cost:_ -> true)
+    ?(on_augment = fun ~units:_ ~path_cost:_ -> `Continue) () =
+  assert (source <> sink);
+  let pi = initial_potential g ~source in
+  let total_flow = ref 0 in
+  let total_cost = ref 0. in
+  let augmentations = ref 0 in
+  let want_more () =
+    match target_flow with None -> true | Some t -> !total_flow < t
+  in
+  let continue = ref true in
+  while !continue && want_more () do
+    let { Shortest_path.dist; parent_arc } =
+      Shortest_path.dijkstra g ~source ~potential:pi ~stop_at:sink ()
+    in
+    if dist.(sink) = infinity then continue := false
+    else begin
+      (* True source->sink path cost, before the potential update. *)
+      let path_cost = dist.(sink) +. pi.(sink) -. pi.(source) in
+      if not (should_augment ~path_cost) then continue := false
+      else begin
+      (* Keep reduced costs non-negative for the next round: cap distance
+         contributions at the sink's distance. *)
+      let cap = dist.(sink) in
+      Array.iteri
+        (fun v d -> pi.(v) <- pi.(v) +. Float.min d cap)
+        dist;
+      (* Bottleneck along the shortest path. *)
+      let bottleneck = ref max_int in
+      let v = ref sink in
+      while !v <> source do
+        let a = parent_arc.(!v) in
+        assert (a >= 0);
+        let r = Graph.residual_capacity g a in
+        if r < !bottleneck then bottleneck := r;
+        v := Graph.src g a
+      done;
+      let units =
+        match target_flow with
+        | None -> !bottleneck
+        | Some t -> Stdlib.min !bottleneck (t - !total_flow)
+      in
+      assert (units > 0);
+      let v = ref sink in
+      while !v <> source do
+        let a = parent_arc.(!v) in
+        Graph.push g a units;
+        v := Graph.src g a
+      done;
+      total_flow := !total_flow + units;
+      total_cost := !total_cost +. (float_of_int units *. path_cost);
+      incr augmentations;
+      (match on_augment ~units ~path_cost with
+      | `Continue -> ()
+      | `Stop -> continue := false)
+      end
+    end
+  done;
+  { flow = !total_flow; cost = !total_cost; augmentations = !augmentations }

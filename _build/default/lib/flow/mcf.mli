@@ -1,0 +1,37 @@
+(** Minimum-cost flow by successive shortest paths (SSP) with potentials.
+
+    Each augmentation pushes flow along a minimum-cost residual path, so
+    after the k-th unit the network carries a min-cost flow of amount k —
+    the per-Δ prefix property MinCostFlow-GEACC relies on (see DESIGN.md §5).
+    Negative arc costs are supported: potentials are seeded with one
+    Bellman–Ford pass; subsequent iterations use Dijkstra on reduced costs,
+    giving O(F · E log V) for total flow F. *)
+
+type outcome = {
+  flow : int;            (** Total units routed. *)
+  cost : float;          (** Total cost of the routed flow. *)
+  augmentations : int;   (** Number of augmenting paths used. *)
+}
+
+exception Negative_cycle
+(** Raised when the initial network has a negative-cost cycle reachable from
+    the source (min-cost flow is then unbounded below). *)
+
+val solve :
+  Graph.t ->
+  source:int ->
+  sink:int ->
+  ?target_flow:int ->
+  ?should_augment:(path_cost:float -> bool) ->
+  ?on_augment:(units:int -> path_cost:float -> [ `Continue | `Stop ]) ->
+  unit ->
+  outcome
+(** Augments until the sink is unreachable, [target_flow] is met,
+    [should_augment] refuses, or [on_augment] answers [`Stop].
+    [should_augment] is consulted {e before} pushing along a found path —
+    since path costs are non-decreasing across augmentations, refusing once
+    ends the run with the flow untouched by that path (this is how
+    MinCostFlow-GEACC stops at the Δ maximising MaxSum). [on_augment] fires
+    after each augmentation with the units pushed and the (true,
+    non-reduced) per-unit path cost. The flow pushed so far stays in the
+    graph — read it back with {!Graph.flow}. *)

@@ -1,0 +1,74 @@
+type result = { dist : float array; parent_arc : int array }
+
+module Heap = Geacc_pqueue.Float_int_heap
+
+let dijkstra g ~source ?potential ?stop_at () =
+  let n = Graph.node_count g in
+  let dist = Array.make n infinity in
+  let parent_arc = Array.make n (-1) in
+  let settled = Array.make n false in
+  let reduced_cost =
+    match potential with
+    | None -> fun a -> Graph.cost g a
+    | Some pi ->
+        fun a -> Graph.cost g a +. pi.(Graph.src g a) -. pi.(Graph.dst g a)
+  in
+  let heap = Heap.create () in
+  dist.(source) <- 0.;
+  Heap.push heap 0. source;
+  let finished = ref false in
+  while not !finished do
+    match Heap.pop heap with
+    | None -> finished := true
+    | Some (d, u) ->
+        if not settled.(u) then begin
+          settled.(u) <- true;
+          assert (d = dist.(u));
+          if stop_at = Some u then finished := true
+          else
+            Graph.iter_out_arcs g u (fun a ->
+                if Graph.residual_capacity g a > 0 then begin
+                  let v = Graph.dst g a in
+                  if not settled.(v) then begin
+                    let rc = reduced_cost a in
+                    (* Reduced costs must be non-negative; tolerate tiny
+                       floating-point slack from potential updates. *)
+                    let rc = if rc < 0. then (assert (rc > -1e-9); 0.) else rc in
+                    let nd = d +. rc in
+                    if nd < dist.(v) then begin
+                      dist.(v) <- nd;
+                      parent_arc.(v) <- a;
+                      Heap.push heap nd v
+                    end
+                  end
+                end)
+        end
+  done;
+  { dist; parent_arc }
+
+let bellman_ford g ~source =
+  let n = Graph.node_count g in
+  let dist = Array.make n infinity in
+  let parent_arc = Array.make n (-1) in
+  dist.(source) <- 0.;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < n do
+    changed := false;
+    incr rounds;
+    for u = 0 to n - 1 do
+      if dist.(u) < infinity then
+        Graph.iter_out_arcs g u (fun a ->
+            if Graph.residual_capacity g a > 0 then begin
+              let v = Graph.dst g a in
+              let nd = dist.(u) +. Graph.cost g a in
+              if nd < dist.(v) -. 1e-12 then begin
+                dist.(v) <- nd;
+                parent_arc.(v) <- a;
+                changed := true
+              end
+            end)
+    done
+  done;
+  if !changed then None (* still relaxing after n rounds: negative cycle *)
+  else Some { dist; parent_arc }

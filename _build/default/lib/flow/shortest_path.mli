@@ -1,0 +1,31 @@
+(** Single-source shortest paths over the residual network.
+
+    Only arcs with positive residual capacity participate. Both algorithms
+    return, per node, the distance and the arc through which the node was
+    reached (for path recovery). *)
+
+type result = {
+  dist : float array;      (** [infinity] for unreachable nodes. *)
+  parent_arc : int array;  (** Arc into the node on a shortest path; -1 at
+                               the source and unreachable nodes. *)
+}
+
+val dijkstra :
+  Graph.t -> source:int -> ?potential:float array -> ?stop_at:int -> unit ->
+  result
+(** Dijkstra over reduced costs [cost a + pi(src a) - pi(dst a)], which must
+    be non-negative for arcs with residual capacity (Johnson's trick). The
+    returned distances are the {e reduced} distances; callers converting back
+    to true distances add [pi(dst) - pi(source)]. Omitting [potential] runs
+    plain Dijkstra and requires non-negative costs.
+
+    With [stop_at] the search halts as soon as that node is settled; its
+    distance and parents along its shortest path are exact, while other
+    entries are tentative upper bounds, never below [stop_at]'s distance —
+    which is exactly the property the min-cost-flow potential update
+    [pi(v) <- pi(v) + min(dist(v), dist(stop_at))] needs. *)
+
+val bellman_ford : Graph.t -> source:int -> result option
+(** Handles negative costs; [None] if a negative-cost residual cycle is
+    reachable from [source]. O(V·E). Used as a test oracle and to initialise
+    potentials when negative arcs exist. *)

@@ -1,0 +1,1 @@
+lib/index/i_distance.ml: Array Float Geacc_pqueue Int List Point Stdlib

@@ -1,0 +1,1 @@
+lib/index/i_distance.mli: Point

@@ -1,0 +1,1 @@
+lib/index/kd_tree.ml: Array Float Geacc_pqueue Int List Point

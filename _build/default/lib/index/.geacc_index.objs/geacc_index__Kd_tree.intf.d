@@ -1,0 +1,1 @@
+lib/index/kd_tree.mli: Point

@@ -1,0 +1,1 @@
+lib/index/linear_index.ml: Array Float Int Point

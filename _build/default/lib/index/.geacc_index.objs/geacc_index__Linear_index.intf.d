@@ -1,0 +1,1 @@
+lib/index/linear_index.mli: Point

@@ -1,0 +1,1 @@
+lib/index/nn_backend.ml: Array I_distance Kd_tree Lazy Linear_index List Nn_stream Point Printf String Va_file

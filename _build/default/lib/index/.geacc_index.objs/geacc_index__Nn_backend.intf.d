@@ -1,0 +1,1 @@
+lib/index/nn_backend.mli: Point

@@ -1,0 +1,1 @@
+lib/index/nn_stream.ml: Array Float Int Kd_tree Point Stdlib

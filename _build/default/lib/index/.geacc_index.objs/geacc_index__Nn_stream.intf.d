@@ -1,0 +1,1 @@
+lib/index/nn_stream.mli: Kd_tree Point

@@ -1,0 +1,1 @@
+lib/index/point.ml: Array Format

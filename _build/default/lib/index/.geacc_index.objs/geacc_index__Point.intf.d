@@ -1,0 +1,1 @@
+lib/index/point.mli: Format

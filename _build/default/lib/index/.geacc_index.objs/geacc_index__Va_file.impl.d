@@ -1,0 +1,1 @@
+lib/index/va_file.ml: Array Bytes Char Float Geacc_pqueue Int Point Stdlib

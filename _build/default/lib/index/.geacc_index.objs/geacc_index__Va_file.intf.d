@@ -1,0 +1,1 @@
+lib/index/va_file.mli: Point

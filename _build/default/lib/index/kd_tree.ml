@@ -1,0 +1,140 @@
+type node = {
+  lo : Point.t;
+  hi : Point.t;
+  kind : kind;
+}
+
+and kind =
+  | Leaf of int array
+  | Inner of node * node
+
+type t = { points : Point.t array; root : node option }
+
+let widest_dimension lo hi =
+  let best = ref 0 and spread = ref (hi.(0) -. lo.(0)) in
+  for k = 1 to Array.length lo - 1 do
+    let s = hi.(k) -. lo.(k) in
+    if s > !spread then begin
+      spread := s;
+      best := k
+    end
+  done;
+  !best
+
+let rec build_node points leaf_size idxs =
+  let d = Array.length points.(idxs.(0)) in
+  let lo = Array.make d 0. and hi = Array.make d 0. in
+  Point.bounding_box points idxs ~lo ~hi;
+  if Array.length idxs <= leaf_size then { lo; hi; kind = Leaf idxs }
+  else begin
+    let dim = widest_dimension lo hi in
+    Array.sort
+      (fun i j ->
+        let c = Float.compare points.(i).(dim) points.(j).(dim) in
+        if c <> 0 then c else Int.compare i j)
+      idxs;
+    let mid = Array.length idxs / 2 in
+    let left = build_node points leaf_size (Array.sub idxs 0 mid) in
+    let right =
+      build_node points leaf_size
+        (Array.sub idxs mid (Array.length idxs - mid))
+    in
+    { lo; hi; kind = Inner (left, right) }
+  end
+
+let build ?(leaf_size = 16) points =
+  assert (leaf_size >= 1);
+  if Array.length points = 0 then { points; root = None }
+  else begin
+    let d = Array.length points.(0) in
+    Array.iter (fun p -> assert (Array.length p = d)) points;
+    let idxs = Array.init (Array.length points) (fun i -> i) in
+    { points; root = Some (build_node points leaf_size idxs) }
+  end
+
+let size t = Array.length t.points
+let point t i = t.points.(i)
+
+(* Frontier entries are keyed by squared distance. At equal keys, nodes come
+   before points (so every point at that distance has been enqueued before
+   any is returned) and points tie-break by index — this matches
+   Linear_index's (distance, index) order exactly. *)
+type entry = { key : float; payload : payload }
+and payload = Node of node | Pt of int
+
+let entry_cmp e1 e2 =
+  let c = Float.compare e1.key e2.key in
+  if c <> 0 then c
+  else
+    match (e1.payload, e2.payload) with
+    | Node _, Pt _ -> -1
+    | Pt _, Node _ -> 1
+    | Node _, Node _ -> 0
+    | Pt i, Pt j -> Int.compare i j
+
+module Heap = Geacc_pqueue.Binary_heap
+
+type cursor = {
+  tree : t;
+  query : Point.t;
+  max_dist2 : float;
+  frontier : entry Heap.t;
+  mutable yielded : int;
+  mutable work : int;  (* frontier operations: a proxy for search effort *)
+}
+
+let push_node c node =
+  let key = Point.min_dist2_to_box c.query ~lo:node.lo ~hi:node.hi in
+  c.work <- c.work + 1;
+  if key < c.max_dist2 then Heap.push c.frontier { key; payload = Node node }
+
+let cursor t query ?(max_dist = infinity) () =
+  let c =
+    {
+      tree = t;
+      query;
+      max_dist2 = (if max_dist = infinity then infinity else max_dist *. max_dist);
+      frontier = Heap.create ~cmp:entry_cmp ();
+      yielded = 0;
+      work = 0;
+    }
+  in
+  (match t.root with None -> () | Some root -> push_node c root);
+  c
+
+let rec next c =
+  match Heap.pop c.frontier with
+  | None -> None
+  | Some { key; payload } ->
+      if key >= c.max_dist2 then None
+      else begin
+        match payload with
+        | Pt i ->
+            c.yielded <- c.yielded + 1;
+            Some (i, sqrt key)
+        | Node { kind = Inner (l, r); _ } ->
+            push_node c l;
+            push_node c r;
+            next c
+        | Node { kind = Leaf idxs; _ } ->
+            c.work <- c.work + Array.length idxs;
+            Array.iter
+              (fun i ->
+                let d2 = Point.dist2 c.query c.tree.points.(i) in
+                if d2 < c.max_dist2 then
+                  Heap.push c.frontier { key = d2; payload = Pt i })
+              idxs;
+            next c
+      end
+
+let returned c = c.yielded
+let work c = c.work
+
+let nearest t q ~k =
+  assert (k >= 0);
+  let c = cursor t q () in
+  let rec take acc n =
+    if n = 0 then List.rev acc
+    else match next c with None -> List.rev acc | Some x -> take (x :: acc) (n - 1)
+  in
+  Array.of_list (take [] k)

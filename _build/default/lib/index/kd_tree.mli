@@ -1,0 +1,44 @@
+(** kd-tree with incremental (best-first) nearest-neighbour enumeration.
+
+    The tree stores axis-aligned bounding boxes per node; a {!cursor}
+    implements Hjaltason–Samet distance browsing: a priority queue over
+    nodes (keyed by box distance) and points (keyed by true distance) yields
+    neighbours one at a time in ascending distance without computing all of
+    them. This plays the role of the iDistance / VA-File index in the paper:
+    Greedy-GEACC's "next feasible unvisited NN" is one {!next} call (plus
+    feasibility filtering by the caller).
+
+    Ties in distance are broken by point index, matching
+    {!Linear_index}. *)
+
+type t
+
+val build : ?leaf_size:int -> Point.t array -> t
+(** Builds over the (not copied) array; O(n log² n). [leaf_size] is the
+    bucket size at leaves (default 16; must be >= 1). All points must share
+    one dimension. *)
+
+val size : t -> int
+val point : t -> int -> Point.t
+
+val nearest : t -> Point.t -> k:int -> (int * float) array
+(** Up to [k] (index, distance) pairs in ascending (distance, index) order. *)
+
+type cursor
+(** A stateful enumeration of neighbours of one query point. *)
+
+val cursor : t -> Point.t -> ?max_dist:float -> unit -> cursor
+(** Neighbours of the query in ascending distance; enumeration stops (yields
+    [None]) once distance >= [max_dist] (default [infinity]). *)
+
+val next : cursor -> (int * float) option
+(** The next-nearest not-yet-returned point, or [None] when exhausted. *)
+
+val returned : cursor -> int
+(** How many points this cursor has yielded so far. *)
+
+val work : cursor -> int
+(** Frontier operations performed so far — a proxy for search effort.
+    When this exceeds a small multiple of {!size}, best-first search has
+    degenerated (typical in high dimension) and a linear scan would have
+    been cheaper; {!Nn_stream} uses this signal to switch regimes. *)

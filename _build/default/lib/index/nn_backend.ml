@@ -1,0 +1,96 @@
+type stream = { get : int -> (int * float) option }
+
+type index = {
+  size : int;
+  stream : query:Point.t -> max_dist:float -> stream;
+}
+
+type t = {
+  name : string;
+  build : Point.t array -> index;
+}
+
+let kd_tree =
+  {
+    name = "kd";
+    build =
+      (fun points ->
+        let tree = Kd_tree.build points in
+        {
+          size = Array.length points;
+          stream =
+            (fun ~query ~max_dist ->
+              let s =
+                if max_dist = infinity then Nn_stream.create tree query ()
+                else Nn_stream.create tree query ~max_dist ()
+              in
+              { get = (fun rank -> Nn_stream.get s rank) });
+        });
+  }
+
+let linear =
+  {
+    name = "linear";
+    build =
+      (fun points ->
+        let idx = Linear_index.create points in
+        {
+          size = Array.length points;
+          stream =
+            (fun ~query ~max_dist ->
+              (* One full sorted scan, computed lazily on first access. *)
+              let sorted =
+                lazy
+                  (Linear_index.nearest_within idx query
+                     ~k:(Array.length points) ~max_dist)
+              in
+              {
+                get =
+                  (fun rank ->
+                    assert (rank >= 1);
+                    let a = Lazy.force sorted in
+                    if rank <= Array.length a then Some a.(rank - 1) else None);
+              });
+        });
+  }
+
+let va_file =
+  {
+    name = "vafile";
+    build =
+      (fun points ->
+        let idx = Va_file.build points in
+        {
+          size = Va_file.size idx;
+          stream =
+            (fun ~query ~max_dist ->
+              let s = Va_file.stream idx ~query ~max_dist in
+              { get = (fun rank -> Va_file.get s rank) });
+        });
+  }
+
+let i_distance =
+  {
+    name = "idistance";
+    build =
+      (fun points ->
+        let idx = I_distance.build points in
+        {
+          size = I_distance.size idx;
+          stream =
+            (fun ~query ~max_dist ->
+              let s = I_distance.stream idx ~query ~max_dist in
+              { get = (fun rank -> I_distance.get s rank) });
+        });
+  }
+
+let all = [ kd_tree; linear; va_file; i_distance ]
+
+let of_string name =
+  let name = String.lowercase_ascii name in
+  match List.find_opt (fun b -> b.name = name) all with
+  | Some b -> Ok b
+  | None ->
+      Error
+        (Printf.sprintf "unknown index backend %S (expected one of: %s)" name
+           (String.concat ", " (List.map (fun b -> b.name) all)))

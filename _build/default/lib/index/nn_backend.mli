@@ -1,0 +1,49 @@
+(** Pluggable incremental nearest-neighbour backends.
+
+    The paper treats the NN index as a black box with per-query cost σ(S)
+    and names iDistance and VA-File as candidates. This module gives all
+    indexes one shape — build over a point set, then per query an
+    incremental stream of neighbours in ascending (distance, index) order —
+    so solvers can be run against any backend and the index choice becomes
+    an experimental variable (see the [ablation-index] benchmark). *)
+
+type stream = {
+  get : int -> (int * float) option;
+      (** [get rank] is the [rank]-th (1-based) nearest point as
+          [(index, distance)], restricted to distance < the stream's
+          cutoff; [None] when fewer neighbours exist. Must be consistent
+          across calls and support arbitrary rank order. *)
+}
+
+type index = {
+  size : int;
+  stream : query:Point.t -> max_dist:float -> stream;
+      (** [max_dist] is an exclusive cutoff; [infinity] for none. *)
+}
+
+type t = {
+  name : string;
+  build : Point.t array -> index;
+}
+
+val kd_tree : t
+(** {!Kd_tree} + {!Nn_stream}: best-first incremental search with the
+    adaptive bulk fallback. The library default. *)
+
+val linear : t
+(** Full scan sorted lazily per query — the honest baseline every other
+    backend must beat (and the correctness oracle). *)
+
+val va_file : t
+(** {!Va_file}: quantised vector approximations with exact refinement. *)
+
+val i_distance : t
+(** {!I_distance}: reference-point partitions with expanding-radius
+    search. *)
+
+val all : t list
+(** Every backend, {!kd_tree} first. *)
+
+val of_string : string -> (t, string) result
+(** Parses a backend name: ["kd"], ["linear"], ["vafile"] or
+    ["idistance"]. *)

@@ -1,0 +1,50 @@
+type t = float array
+
+let dim = Array.length
+
+let dist2 a b =
+  assert (Array.length a = Array.length b);
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let dist a b = sqrt (dist2 a b)
+
+let min_dist2_to_box q ~lo ~hi =
+  let acc = ref 0. in
+  for i = 0 to Array.length q - 1 do
+    let d =
+      if q.(i) < lo.(i) then lo.(i) -. q.(i)
+      else if q.(i) > hi.(i) then q.(i) -. hi.(i)
+      else 0.
+    in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let bounding_box points idxs ~lo ~hi =
+  assert (Array.length idxs > 0);
+  let d = Array.length lo in
+  let first = points.(idxs.(0)) in
+  Array.blit first 0 lo 0 d;
+  Array.blit first 0 hi 0 d;
+  Array.iter
+    (fun i ->
+      let p = points.(i) in
+      for k = 0 to d - 1 do
+        if p.(k) < lo.(k) then lo.(k) <- p.(k);
+        if p.(k) > hi.(k) then hi.(k) <- p.(k)
+      done)
+    idxs
+
+let equal a b = a = b
+
+let pp ppf p =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf x -> Format.fprintf ppf "%g" x))
+    (Array.to_list p)

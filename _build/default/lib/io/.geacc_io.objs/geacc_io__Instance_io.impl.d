@@ -1,0 +1,1 @@
+lib/io/instance_io.ml: Array Buffer Conflict Entity Fun Geacc_core Instance List Printf Similarity String

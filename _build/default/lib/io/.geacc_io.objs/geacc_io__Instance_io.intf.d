@@ -1,0 +1,1 @@
+lib/io/instance_io.mli: Geacc_core

@@ -1,0 +1,193 @@
+open Geacc_core
+
+exception Parse_error of { line : int; message : string }
+
+let fail ~line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* -- Saving ---------------------------------------------------------- *)
+
+let sim_header sim =
+  match Similarity.spec sim with
+  | Similarity.Spec_euclidean { dim; range } ->
+      Printf.sprintf "sim euclidean %d %.17g" dim range
+  | Similarity.Spec_gaussian { sigma } ->
+      Printf.sprintf "sim gaussian %.17g" sigma
+  | Similarity.Spec_cosine -> "sim cosine"
+  | Similarity.Spec_custom name ->
+      invalid_arg
+        (Printf.sprintf "Instance_io: custom similarity %S is not serialisable"
+           name)
+
+let save_instance instance =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  line "geacc-instance 1";
+  line "%s" (sim_header (Instance.similarity instance));
+  let side name entities =
+    line "%s %d" name (Array.length entities);
+    Array.iter
+      (fun (e : Entity.t) ->
+        Buffer.add_string buf (string_of_int e.Entity.capacity);
+        Array.iter
+          (fun x ->
+            Buffer.add_char buf ' ';
+            Buffer.add_string buf (Printf.sprintf "%.17g" x))
+          e.Entity.attrs;
+        Buffer.add_char buf '\n')
+      entities
+  in
+  side "events" (Instance.events instance);
+  side "users" (Instance.users instance);
+  let cf = Instance.conflicts instance in
+  line "conflicts %d" (Conflict.cardinal cf);
+  Conflict.iter_pairs cf (fun v w -> line "%d %d" v w);
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write_instance ~path instance = write_file path (save_instance instance)
+
+(* -- Loading --------------------------------------------------------- *)
+
+(* Significant lines with their 1-based numbers; comments/blanks dropped. *)
+let significant_lines text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i l -> (i + 1, String.trim l))
+  |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+
+let tokens line = String.split_on_char ' ' line |> List.filter (( <> ) "")
+
+let parse_int ~line s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> fail ~line "expected an integer, got %S" s
+
+let parse_float ~line s =
+  match float_of_string_opt s with
+  | Some x -> x
+  | None -> fail ~line "expected a number, got %S" s
+
+type cursor = { mutable rest : (int * string) list }
+
+let next_line cur =
+  match cur.rest with
+  | [] -> fail ~line:0 "unexpected end of input"
+  | x :: rest ->
+      cur.rest <- rest;
+      x
+
+let expect_header cur ~keyword =
+  let line, l = next_line cur in
+  match tokens l with
+  | k :: args when k = keyword -> (line, args)
+  | _ -> fail ~line "expected %S section, got %S" keyword l
+
+let parse_sim ~line args =
+  match args with
+  | [ "euclidean"; d; r ] ->
+      Similarity.euclidean ~dim:(parse_int ~line d) ~range:(parse_float ~line r)
+  | [ "gaussian"; s ] -> Similarity.gaussian ~sigma:(parse_float ~line s)
+  | [ "cosine" ] -> Similarity.cosine
+  | _ -> fail ~line "unsupported similarity %S" (String.concat " " args)
+
+let parse_entities cur ~count =
+  Array.init count (fun id ->
+      let line, l = next_line cur in
+      match tokens l with
+      | capacity :: attrs when attrs <> [] ->
+          Entity.make ~id
+            ~attrs:(Array.of_list (List.map (parse_float ~line) attrs))
+            ~capacity:(parse_int ~line capacity)
+      | _ -> fail ~line "expected `<capacity> <attr...>`, got %S" l)
+
+let load_instance text =
+  let cur = { rest = significant_lines text } in
+  (let line, l = next_line cur in
+   match tokens l with
+   | [ "geacc-instance"; "1" ] -> ()
+   | _ -> fail ~line "expected `geacc-instance 1` header, got %S" l);
+  let sim =
+    let line, l = next_line cur in
+    match tokens l with
+    | "sim" :: args -> parse_sim ~line args
+    | _ -> fail ~line "expected `sim ...`, got %S" l
+  in
+  let parse_side keyword =
+    let line, args = expect_header cur ~keyword in
+    match args with
+    | [ n ] -> parse_entities cur ~count:(parse_int ~line n)
+    | _ -> fail ~line "expected `%s <count>`" keyword
+  in
+  let events = parse_side "events" in
+  let users = parse_side "users" in
+  let line, args = expect_header cur ~keyword:"conflicts" in
+  let n_conflicts =
+    match args with
+    | [ n ] -> parse_int ~line n
+    | _ -> fail ~line "expected `conflicts <count>`"
+  in
+  let conflicts = Conflict.create ~n_events:(Array.length events) in
+  for _ = 1 to n_conflicts do
+    let line, l = next_line cur in
+    match tokens l with
+    | [ v; w ] -> (
+        let v = parse_int ~line v and w = parse_int ~line w in
+        try Conflict.add conflicts v w
+        with Invalid_argument msg -> fail ~line "%s" msg)
+    | _ -> fail ~line "expected `<event> <event>`, got %S" l
+  done;
+  (match cur.rest with
+  | [] -> ()
+  | (line, l) :: _ -> fail ~line "trailing content: %S" l);
+  try Instance.create ~sim ~events ~users ~conflicts ()
+  with Invalid_argument msg -> fail ~line:0 "%s" msg
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read_instance ~path = load_instance (read_file path)
+
+let save_pairs pairs =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "geacc-matching 1\n";
+  Buffer.add_string buf (Printf.sprintf "pairs %d\n" (List.length pairs));
+  List.iter
+    (fun (v, u) -> Buffer.add_string buf (Printf.sprintf "%d %d\n" v u))
+    pairs;
+  Buffer.contents buf
+
+let write_pairs ~path pairs = write_file path (save_pairs pairs)
+
+let load_pairs text =
+  let cur = { rest = significant_lines text } in
+  (let line, l = next_line cur in
+   match tokens l with
+   | [ "geacc-matching"; "1" ] -> ()
+   | _ -> fail ~line "expected `geacc-matching 1` header, got %S" l);
+  let line, args = expect_header cur ~keyword:"pairs" in
+  let count =
+    match args with
+    | [ n ] -> parse_int ~line n
+    | _ -> fail ~line "expected `pairs <count>`"
+  in
+  let pairs =
+    List.init count (fun _ ->
+        let line, l = next_line cur in
+        match tokens l with
+        | [ v; u ] -> (parse_int ~line v, parse_int ~line u)
+        | _ -> fail ~line "expected `<event> <user>`, got %S" l)
+  in
+  (match cur.rest with
+  | [] -> ()
+  | (line, l) :: _ -> fail ~line "trailing content: %S" l);
+  pairs
+
+let read_pairs ~path = load_pairs (read_file path)

@@ -1,0 +1,45 @@
+(** Plain-text (de)serialisation of instances and matchings.
+
+    Instance format (line-oriented, ['#'] comments and blank lines ignored):
+    {v
+    geacc-instance 1
+    sim euclidean <dim> <range>     # or: sim gaussian <sigma> | sim cosine
+    events <n>
+    <capacity> <attr_1> ... <attr_d>
+    ...
+    users <n>
+    <capacity> <attr_1> ... <attr_d>
+    ...
+    conflicts <m>
+    <event_id> <event_id>
+    ...
+    v}
+
+    Matching format:
+    {v
+    geacc-matching 1
+    pairs <k>
+    <event_id> <user_id>
+    ...
+    v}
+
+    Custom similarities are not serialisable: saving such an instance
+    raises. *)
+
+exception Parse_error of { line : int; message : string }
+
+val save_instance : Geacc_core.Instance.t -> string
+val write_instance : path:string -> Geacc_core.Instance.t -> unit
+
+val load_instance : string -> Geacc_core.Instance.t
+(** @raise Parse_error on malformed input. *)
+
+val read_instance : path:string -> Geacc_core.Instance.t
+
+val save_pairs : (int * int) list -> string
+val write_pairs : path:string -> (int * int) list -> unit
+
+val load_pairs : string -> (int * int) list
+(** @raise Parse_error on malformed input. *)
+
+val read_pairs : path:string -> (int * int) list

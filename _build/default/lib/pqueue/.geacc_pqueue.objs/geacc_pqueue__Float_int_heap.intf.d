@@ -1,0 +1,1 @@
+lib/pqueue/float_int_heap.mli:

@@ -1,0 +1,88 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a array;  (* valid entries in [0, size) *)
+  mutable size : int;
+}
+
+let create ~cmp () = { cmp; data = [||]; size = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
+  if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t x =
+  let capacity = Array.length t.data in
+  if t.size = capacity then begin
+    let fresh = Array.make (Stdlib.max 8 (2 * capacity)) x in
+    Array.blit t.data 0 fresh 0 t.size;
+    t.data <- fresh
+  end
+
+let push t x =
+  grow t x;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let of_array ~cmp a =
+  let t = { cmp; data = Array.copy a; size = Array.length a } in
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done;
+  t
+
+let peek t = if t.size = 0 then None else Some t.data.(0)
+
+let peek_exn t =
+  if t.size = 0 then invalid_arg "Binary_heap.peek_exn: empty heap";
+  t.data.(0)
+
+let pop_exn t =
+  if t.size = 0 then invalid_arg "Binary_heap.pop_exn: empty heap";
+  let top = t.data.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.data.(0) <- t.data.(t.size);
+    sift_down t 0
+  end;
+  top
+
+let pop t = if t.size = 0 then None else Some (pop_exn t)
+
+let clear t =
+  t.data <- [||];
+  t.size <- 0
+
+let pop_all_sorted t =
+  let rec drain acc = if is_empty t then List.rev acc else drain (pop_exn t :: acc) in
+  drain []
+
+let check_invariant t =
+  let ok = ref true in
+  for i = 1 to t.size - 1 do
+    if t.cmp t.data.((i - 1) / 2) t.data.(i) > 0 then ok := false
+  done;
+  !ok

@@ -1,0 +1,35 @@
+(** Mutable array-backed binary heap.
+
+    The heap is a {e min}-heap with respect to the comparison supplied at
+    creation; pass a flipped comparison for max-heap behaviour (as
+    Greedy-GEACC does to pop the most similar pair first). All operations are
+    the textbook complexities: [push]/[pop] are O(log n), [peek] O(1),
+    [of_array] O(n) via bottom-up heapify. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> unit -> 'a t
+(** Empty heap ordered by [cmp] (smallest element on top). *)
+
+val of_array : cmp:('a -> 'a -> int) -> 'a array -> 'a t
+(** Bottom-up heapify of a copy of the array, O(n). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+val peek_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val pop : 'a t -> 'a option
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val pop_all_sorted : 'a t -> 'a list
+(** Drains the heap; elements in ascending [cmp] order. *)
+
+val check_invariant : 'a t -> bool
+(** [true] iff every parent orders no later than its children (test hook). *)

@@ -1,0 +1,73 @@
+type t = {
+  mutable keys : float array;
+  mutable payloads : int array;
+  mutable size : int;
+}
+
+let create () = { keys = [||]; payloads = [||]; size = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let grow t =
+  let capacity = Array.length t.keys in
+  if t.size = capacity then begin
+    let fresh = Stdlib.max 16 (2 * capacity) in
+    let keys = Array.make fresh 0. and payloads = Array.make fresh 0 in
+    Array.blit t.keys 0 keys 0 t.size;
+    Array.blit t.payloads 0 payloads 0 t.size;
+    t.keys <- keys;
+    t.payloads <- payloads
+  end
+
+let push t key payload =
+  grow t;
+  (* Sift up with a hole instead of swaps. *)
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if t.keys.(parent) > key then begin
+      t.keys.(!i) <- t.keys.(parent);
+      t.payloads.(!i) <- t.payloads.(parent);
+      i := parent
+    end
+    else continue := false
+  done;
+  t.keys.(!i) <- key;
+  t.payloads.(!i) <- payload
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top_key = t.keys.(0) and top_payload = t.payloads.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      (* Sift the former last element down from the root with a hole. *)
+      let key = t.keys.(t.size) and payload = t.payloads.(t.size) in
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        let skey = ref key in
+        if l < t.size && t.keys.(l) < !skey then begin
+          smallest := l;
+          skey := t.keys.(l)
+        end;
+        if r < t.size && t.keys.(r) < !skey then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          t.keys.(!i) <- t.keys.(!smallest);
+          t.payloads.(!i) <- t.payloads.(!smallest);
+          i := !smallest
+        end
+      done;
+      t.keys.(!i) <- key;
+      t.payloads.(!i) <- payload
+    end;
+    Some (top_key, top_payload)
+  end
+
+let clear t = t.size <- 0

@@ -1,0 +1,20 @@
+(** Specialised min-heap of (float key, int payload) pairs.
+
+    Keys and payloads live in parallel unboxed arrays, so pushes allocate no
+    tuples — this heap sits on the hot path of Dijkstra inside the min-cost
+    flow solver, where the generic {!Binary_heap} would box every entry.
+    Semantics mirror {!Binary_heap} with [cmp = Float.compare] on keys
+    (payload order among equal keys is unspecified). *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+val push : t -> float -> int -> unit
+
+val pop : t -> (float * int) option
+(** Minimum-key entry. *)
+
+val clear : t -> unit
+(** Empties without releasing storage (cheap reuse across Dijkstra runs). *)

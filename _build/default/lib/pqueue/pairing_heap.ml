@@ -1,0 +1,47 @@
+type 'a node = Leaf | Node of 'a * 'a node list
+
+type 'a t = { cmp : 'a -> 'a -> int; root : 'a node; size : int }
+
+let empty ~cmp = { cmp; root = Leaf; size = 0 }
+
+let is_empty t = t.size = 0
+let length t = t.size
+
+let meld cmp a b =
+  match (a, b) with
+  | Leaf, n | n, Leaf -> n
+  | Node (x, xs), Node (y, ys) ->
+      if cmp x y <= 0 then Node (x, b :: xs) else Node (y, a :: ys)
+
+let push t x =
+  { t with root = meld t.cmp (Node (x, [])) t.root; size = t.size + 1 }
+
+let merge a b =
+  { a with root = meld a.cmp a.root b.root; size = a.size + b.size }
+
+let peek t = match t.root with Leaf -> None | Node (x, _) -> Some x
+
+(* Two-pass pairing: meld children left-to-right in pairs, then fold the
+   results right-to-left. Tail-recursive on the pairing pass so deep heaps
+   (degenerate push sequences) cannot overflow the stack. *)
+let merge_pairs cmp children =
+  let rec pair acc = function
+    | [] -> acc
+    | [ x ] -> x :: acc
+    | x :: y :: rest -> pair (meld cmp x y :: acc) rest
+  in
+  List.fold_left (meld cmp) Leaf (pair [] children)
+
+let pop t =
+  match t.root with
+  | Leaf -> None
+  | Node (x, children) ->
+      Some (x, { t with root = merge_pairs t.cmp children; size = t.size - 1 })
+
+let of_list ~cmp xs = List.fold_left push (empty ~cmp) xs
+
+let to_sorted_list t =
+  let rec drain acc t =
+    match pop t with None -> List.rev acc | Some (x, t') -> drain (x :: acc) t'
+  in
+  drain [] t

@@ -1,0 +1,22 @@
+(** Persistent pairing heap.
+
+    A purely functional min-heap with O(1) [push]/[merge]/[peek] and
+    O(log n) amortised [pop]. Used where a persistent frontier is convenient
+    (incremental nearest-neighbour search snapshots) and as an independent
+    oracle against {!Binary_heap} in tests. *)
+
+type 'a t
+
+val empty : cmp:('a -> 'a -> int) -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+(** O(1): the size is cached. *)
+
+val push : 'a t -> 'a -> 'a t
+val merge : 'a t -> 'a t -> 'a t
+(** Both heaps must have been created with the same comparison. *)
+
+val peek : 'a t -> 'a option
+val pop : 'a t -> ('a * 'a t) option
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+val to_sorted_list : 'a t -> 'a list

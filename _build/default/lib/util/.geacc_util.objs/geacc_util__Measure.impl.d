@@ -1,0 +1,1 @@
+lib/util/measure.ml: Atomic Float Format Fun Gc Stdlib Sys Thread Unix

@@ -1,0 +1,86 @@
+type t =
+  | Uniform of { lo : float; hi : float }
+  | Normal of { mu : float; sigma : float; lo : float; hi : float }
+  | Zipf of { exponent : float; n : int; lo : float; hi : float }
+
+let uniform lo hi =
+  assert (lo <= hi);
+  Uniform { lo; hi }
+
+let normal ?lo ?hi ~mu ~sigma () =
+  assert (sigma >= 0.);
+  let lo = match lo with Some x -> x | None -> mu -. (6. *. sigma) in
+  let hi = match hi with Some x -> x | None -> mu +. (6. *. sigma) in
+  assert (lo <= hi);
+  Normal { mu; sigma; lo; hi }
+
+let zipf ?(exponent = 1.3) ~n ~lo ~hi () =
+  assert (n >= 1 && exponent > 0. && lo <= hi);
+  Zipf { exponent; n; lo; hi }
+
+(* Box–Muller. We deliberately do not cache the second variate: a stateless
+   draw keeps streams reproducible under [Rng.split]. *)
+let draw_gaussian rng mu sigma =
+  let rec nonzero () =
+    let u = Rng.float_in rng 0. 1. in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () in
+  let u2 = Rng.float_in rng 0. 1. in
+  let r = sqrt (-2. *. log u1) in
+  mu +. (sigma *. r *. cos (2. *. Float.pi *. u2))
+
+let gaussian_truncated rng mu sigma lo hi =
+  if sigma = 0. then Float.min hi (Float.max lo mu)
+  else begin
+    let rec loop attempts =
+      let x = draw_gaussian rng mu sigma in
+      if x >= lo && x <= hi then x
+      else if attempts > 64 then Float.min hi (Float.max lo x)
+      else loop (attempts + 1)
+    in
+    loop 0
+  end
+
+(* Inverse-CDF Zipf sampler. The cumulative weights are precomputed once; a
+   draw is a binary search, O(log n). *)
+let zipf_sampler exponent n lo hi =
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for k = 1 to n do
+    acc := !acc +. (1. /. Float.pow (float_of_int k) exponent);
+    cdf.(k - 1) <- !acc
+  done;
+  let total = !acc in
+  let value_of_rank k =
+    if n = 1 then lo
+    else lo +. ((hi -. lo) *. float_of_int (k - 1) /. float_of_int (n - 1))
+  in
+  fun rng ->
+    let target = Rng.float_in rng 0. total in
+    (* Smallest index with cdf.(i) >= target. *)
+    let rec search lo_i hi_i =
+      if lo_i >= hi_i then lo_i
+      else
+        let mid = (lo_i + hi_i) / 2 in
+        if cdf.(mid) >= target then search lo_i mid else search (mid + 1) hi_i
+    in
+    value_of_rank (search 0 (n - 1) + 1)
+
+let sampler = function
+  | Uniform { lo; hi } ->
+      if lo = hi then fun _ -> lo else fun rng -> Rng.float_in rng lo hi
+  | Normal { mu; sigma; lo; hi } -> fun rng -> gaussian_truncated rng mu sigma lo hi
+  | Zipf { exponent; n; lo; hi } -> zipf_sampler exponent n lo hi
+
+let sample d rng = sampler d rng
+
+let sample_int d rng = int_of_float (Float.round (sample d rng))
+
+let mean_bounds = function
+  | Uniform { lo; hi } | Normal { lo; hi; _ } | Zipf { lo; hi; _ } -> (lo, hi)
+
+let pp ppf = function
+  | Uniform { lo; hi } -> Format.fprintf ppf "Uniform[%g,%g]" lo hi
+  | Normal { mu; sigma; _ } -> Format.fprintf ppf "Normal(mu=%g,sigma=%g)" mu sigma
+  | Zipf { exponent; n; _ } -> Format.fprintf ppf "Zipf(s=%g,n=%d)" exponent n

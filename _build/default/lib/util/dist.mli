@@ -1,0 +1,42 @@
+(** Probability distributions used by the workload generators.
+
+    The paper generates attribute values and capacities from Uniform, Normal
+    and Zipf distributions (TABLE II / TABLE III). A {!t} describes a
+    distribution over a real interval; {!sampler} compiles it into a fast
+    draw function (the Zipf case precomputes its inverse CDF once). *)
+
+type t =
+  | Uniform of { lo : float; hi : float }
+      (** Uniform on [\[lo, hi\]]. Requires [lo <= hi]. *)
+  | Normal of { mu : float; sigma : float; lo : float; hi : float }
+      (** Gaussian truncated (by resampling) to [\[lo, hi\]]. *)
+  | Zipf of { exponent : float; n : int; lo : float; hi : float }
+      (** Zipf law with the given exponent over ranks [1..n]; rank [k] is
+          mapped affinely onto [\[lo, hi\]] (rank 1 -> lo, rank n -> hi), so
+          small values are the frequent ones. Requires [n >= 1],
+          [exponent > 0]. *)
+
+val uniform : float -> float -> t
+(** [uniform lo hi] is [Uniform {lo; hi}]. *)
+
+val normal : ?lo:float -> ?hi:float -> mu:float -> sigma:float -> unit -> t
+(** [normal ~mu ~sigma ()] truncated to [\[lo, hi\]] (defaults: mean ± 6σ). *)
+
+val zipf : ?exponent:float -> n:int -> lo:float -> hi:float -> unit -> t
+(** [zipf ~n ~lo ~hi ()] with the paper's default exponent 1.3. *)
+
+val sampler : t -> (Rng.t -> float)
+(** [sampler d] compiles [d]; the returned closure draws one value. *)
+
+val sample : t -> Rng.t -> float
+(** One-shot draw (compiles on every call — prefer {!sampler} in loops). *)
+
+val sample_int : t -> Rng.t -> int
+(** Draw and round to nearest integer (the paper converts all generated
+    capacities to integers). *)
+
+val mean_bounds : t -> float * float
+(** [mean_bounds d] is the support interval [(lo, hi)] of [d]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable description, e.g. ["Uniform[1,50]"]. *)

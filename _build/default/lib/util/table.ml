@@ -1,0 +1,92 @@
+type t = {
+  title : string;
+  headers : string list;
+  width : int;
+  mutable rows : string list list;  (* reversed *)
+}
+
+let create ~title ~headers =
+  { title; headers; width = List.length headers; rows = [] }
+
+let add_row t cells =
+  let n = List.length cells in
+  if n > t.width then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells but %d headers" n t.width);
+  let padded =
+    if n = t.width then cells
+    else cells @ List.init (t.width - n) (fun _ -> "")
+  in
+  t.rows <- padded :: t.rows
+
+let add_float_row t ~label values =
+  add_row t (label :: List.map (Printf.sprintf "%.4g") values)
+
+let all_rows t = t.headers :: List.rev t.rows
+
+let render t =
+  let rows = all_rows t in
+  let widths = Array.make t.width 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if String.length cell > widths.(i) then
+            widths.(i) <- String.length cell)
+        row)
+    rows;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  let pad i cell =
+    let fill = widths.(i) - String.length cell in
+    cell ^ String.make fill ' '
+  in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad i cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  (match rows with
+  | header :: data ->
+      emit_row header;
+      let total =
+        Array.fold_left ( + ) 0 widths + (2 * (t.width - 1))
+      in
+      Buffer.add_string buf (String.make total '-');
+      Buffer.add_char buf '\n';
+      List.iter emit_row data
+  | [] -> ());
+  Buffer.contents buf
+
+let csv_cell cell =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell
+  in
+  if not needs_quote then cell
+  else
+    let buf = Buffer.create (String.length cell + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      cell;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," (List.map csv_cell row));
+      Buffer.add_char buf '\n')
+    (all_rows t);
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()

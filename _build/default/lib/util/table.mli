@@ -1,0 +1,25 @@
+(** Plain-text table rendering for experiment reports.
+
+    The benchmark harness prints each paper figure as an aligned ASCII table
+    (one row per sweep point, one column per algorithm/metric) and can emit
+    the same data as CSV for plotting. *)
+
+type t
+(** A table under construction: a header row plus data rows. *)
+
+val create : title:string -> headers:string list -> t
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are right-padded with empty cells; longer
+    rows raise [Invalid_argument]. *)
+
+val add_float_row : t -> label:string -> float list -> unit
+(** Convenience: label cell followed by [%.4g]-formatted numbers. *)
+
+val render : t -> string
+(** Aligned ASCII rendering, including the title and a separator rule. *)
+
+val to_csv : t -> string
+(** RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines). *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)

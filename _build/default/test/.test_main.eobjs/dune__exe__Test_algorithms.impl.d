@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Conflict Entity Exact Geacc_core Geacc_datagen Geacc_util Greedy Instance List Matching Mincostflow Printf Random_baseline Result Similarity Solver Stdlib Validate

@@ -1,0 +1,1 @@
+test/test_backends.ml: Alcotest Array Exact Geacc_core Geacc_datagen Geacc_index Geacc_util Greedy List Matching Printf QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_bench_util.ml: Alcotest Array Fun Geacc_bench Geacc_core Geacc_datagen Geacc_util Measure

@@ -1,0 +1,1 @@
+test/test_core_model.ml: Alcotest Array Conflict Entity Geacc_core Geacc_index Geacc_util Instance List Matching Printf Similarity String Validate

@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array Conflict Entity Float Geacc_core Geacc_datagen Geacc_util Hashtbl Instance List Printf

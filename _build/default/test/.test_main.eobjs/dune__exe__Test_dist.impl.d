@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Dist Float Format Geacc_util Rng Stats

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Exact Geacc_core Geacc_datagen Geacc_util Greedy Greedy_naive Instance List Local_search Matching Online Printf Validate

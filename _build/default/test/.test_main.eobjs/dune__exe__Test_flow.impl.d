@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Geacc_flow Geacc_util Graph List Maxflow Mcf Shortest_path

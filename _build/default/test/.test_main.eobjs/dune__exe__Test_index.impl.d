@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Fun Geacc_index Geacc_util List Printf QCheck QCheck_alcotest

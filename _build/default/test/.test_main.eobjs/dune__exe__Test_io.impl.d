@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Array Conflict Entity Filename Fun Geacc_core Geacc_datagen Geacc_io Instance List Similarity Sys

@@ -1,0 +1,1 @@
+test/test_paper_example.ml: Alcotest Array Conflict Entity Exact Geacc_core Greedy Instance List Matching Mincostflow Printf Similarity Solver Validate

@@ -1,0 +1,1 @@
+test/test_pqueue.ml: Alcotest Array Binary_heap Float_int_heap Geacc_pqueue Int List Pairing_heap QCheck QCheck_alcotest

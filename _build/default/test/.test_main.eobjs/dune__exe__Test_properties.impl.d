@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Conflict Exact Float Geacc_core Geacc_datagen Greedy Instance List Matching Mincostflow Printf QCheck QCheck_alcotest Solver Stdlib Validate

@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Geacc_util String Table

@@ -1,0 +1,10 @@
+  $ geacc generate --out small.inst --events 6 --users 12 --dim 2 --cv-max 3 --cu-max 2 --conflict-ratio 0.5 --seed 7 2> /dev/null
+  $ geacc info -i small.inst
+  $ geacc solve -i small.inst -a greedy -o small.match 2> /dev/null | head -3
+  $ geacc validate -i small.inst -m small.match
+  $ geacc solve -i small.inst -a prune 2> /dev/null | head -2
+  $ printf 'geacc-matching 1\npairs 2\n0 0\n0 0\n' > bad.match
+  $ geacc validate -i small.inst -m bad.match 2>&1 | head -2
+  $ geacc solve -i small.inst -a nope 2>&1 | head -1 | cut -c1-13
+  $ geacc generate --out auckland.inst --meetup auckland --seed 1 2> /dev/null
+  $ geacc info -i auckland.inst | cut -d' ' -f1-2

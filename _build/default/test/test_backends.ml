@@ -1,0 +1,236 @@
+(* Index backends: VA-File and iDistance against the linear oracle, plus
+   end-to-end solver agreement across every backend. *)
+
+module Point = Geacc_index.Point
+module Linear = Geacc_index.Linear_index
+module Va = Geacc_index.Va_file
+module Id = Geacc_index.I_distance
+module Backend = Geacc_index.Nn_backend
+module Rng = Geacc_util.Rng
+open Geacc_core
+module Synthetic = Geacc_datagen.Synthetic
+
+let random_points rng ~n ~d ~range =
+  Array.init n (fun _ -> Array.init d (fun _ -> Rng.float rng range))
+
+(* -- VA-File -- *)
+
+let test_va_build () =
+  let rng = Rng.create ~seed:1 in
+  let points = random_points rng ~n:100 ~d:5 ~range:10. in
+  let t = Va.build points in
+  Alcotest.(check int) "size" 100 (Va.size t);
+  Alcotest.(check int) "approximation is n*d bytes" 500
+    (Va.approximation_bytes t);
+  Alcotest.(check bool) "bad bits rejected" true
+    (try
+       ignore (Va.build ~bits_per_dim:9 points);
+       false
+     with Invalid_argument _ -> true)
+
+let check_va_against_oracle ~n ~d ~bits ~seed =
+  let rng = Rng.create ~seed in
+  let points = random_points rng ~n ~d ~range:100. in
+  let t = Va.build ~bits_per_dim:bits points in
+  let oracle = Linear.create points in
+  for _ = 1 to 10 do
+    let q = Array.init d (fun _ -> Rng.float rng 100.) in
+    let s = Va.stream t ~query:q ~max_dist:infinity in
+    for rank = 1 to n do
+      match (Va.get s rank, Linear.nth_nearest oracle q rank) with
+      | Some (i, dist), Some (i', dist') ->
+          Alcotest.(check int) (Printf.sprintf "rank %d id" rank) i' i;
+          Alcotest.(check (float 1e-9)) "dist" dist' dist
+      | None, None -> ()
+      | _ -> Alcotest.fail "existence mismatch"
+    done;
+    Alcotest.(check bool) "rank n+1 empty" true (Va.get s (n + 1) = None)
+  done
+
+let test_va_exact_order () = check_va_against_oracle ~n:80 ~d:4 ~bits:4 ~seed:2
+let test_va_one_bit () = check_va_against_oracle ~n:40 ~d:3 ~bits:1 ~seed:3
+let test_va_high_d () = check_va_against_oracle ~n:60 ~d:20 ~bits:5 ~seed:4
+
+let test_va_saves_refinements () =
+  (* Shallow queries must not refine everything — the point of the index. *)
+  let rng = Rng.create ~seed:5 in
+  let points = random_points rng ~n:2000 ~d:4 ~range:100. in
+  let t = Va.build ~bits_per_dim:6 points in
+  let q = Array.init 4 (fun _ -> Rng.float rng 100.) in
+  let s = Va.stream t ~query:q ~max_dist:infinity in
+  for rank = 1 to 10 do
+    ignore (Va.get s rank)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "10-NN refined only %d of 2000" (Va.refinements s))
+    true
+    (Va.refinements s < 400)
+
+let test_va_cutoff () =
+  let points = Array.init 20 (fun i -> [| float_of_int i |]) in
+  let t = Va.build points in
+  let s = Va.stream t ~query:[| 0. |] ~max_dist:5. in
+  let rec count rank =
+    if Va.get s rank = None then rank - 1 else count (rank + 1)
+  in
+  Alcotest.(check int) "exactly points at distance < 5" 5 (count 1)
+
+(* -- iDistance -- *)
+
+let test_idistance_build () =
+  let rng = Rng.create ~seed:6 in
+  let points = random_points rng ~n:200 ~d:3 ~range:10. in
+  let t = Id.build points in
+  Alcotest.(check int) "size" 200 (Id.size t);
+  Alcotest.(check int) "sqrt-n references" 14 (Id.n_references t);
+  let custom = Id.build ~n_references:5 points in
+  Alcotest.(check int) "explicit references" 5 (Id.n_references custom)
+
+let check_idistance_against_oracle ~n ~d ~refs ~seed =
+  let rng = Rng.create ~seed in
+  let points = random_points rng ~n ~d ~range:100. in
+  let t = Id.build ?n_references:refs points in
+  let oracle = Linear.create points in
+  for _ = 1 to 10 do
+    let q = Array.init d (fun _ -> Rng.float rng 100.) in
+    let s = Id.stream t ~query:q ~max_dist:infinity in
+    for rank = 1 to n do
+      match (Id.get s rank, Linear.nth_nearest oracle q rank) with
+      | Some (i, dist), Some (i', dist') ->
+          Alcotest.(check int) (Printf.sprintf "rank %d id" rank) i' i;
+          Alcotest.(check (float 1e-9)) "dist" dist' dist
+      | None, None -> ()
+      | _ -> Alcotest.fail "existence mismatch"
+    done
+  done
+
+let test_idistance_exact_order () =
+  check_idistance_against_oracle ~n:80 ~d:4 ~refs:None ~seed:7
+
+let test_idistance_single_reference () =
+  check_idistance_against_oracle ~n:50 ~d:2 ~refs:(Some 1) ~seed:8
+
+let test_idistance_many_references () =
+  check_idistance_against_oracle ~n:60 ~d:6 ~refs:(Some 30) ~seed:9
+
+let test_idistance_query_on_point () =
+  (* A query sitting exactly on an indexed point: rank 1 is that point at
+     distance 0. *)
+  let rng = Rng.create ~seed:10 in
+  let points = random_points rng ~n:50 ~d:3 ~range:10. in
+  let t = Id.build points in
+  let s = Id.stream t ~query:(Array.copy points.(17)) ~max_dist:infinity in
+  match Id.get s 1 with
+  | Some (17, d) -> Alcotest.(check (float 1e-12)) "distance zero" 0. d
+  | _ -> Alcotest.fail "expected point 17 first"
+
+let test_idistance_cutoff () =
+  let points = Array.init 20 (fun i -> [| float_of_int i |]) in
+  let t = Id.build ~n_references:3 points in
+  let s = Id.stream t ~query:[| 0. |] ~max_dist:5. in
+  let rec count rank =
+    if Id.get s rank = None then rank - 1 else count (rank + 1)
+  in
+  Alcotest.(check int) "cutoff respected" 5 (count 1)
+
+(* -- Backend registry and end-to-end agreement -- *)
+
+let test_backend_of_string () =
+  List.iter
+    (fun (b : Backend.t) ->
+      match Backend.of_string b.Backend.name with
+      | Ok b' -> Alcotest.(check string) "roundtrip" b.Backend.name b'.Backend.name
+      | Error e -> Alcotest.fail e)
+    Backend.all;
+  Alcotest.(check bool) "unknown rejected" true
+    (Result.is_error (Backend.of_string "quadtree"))
+
+let prop_backends_agree =
+  QCheck.Test.make ~name:"all backends yield the oracle's order" ~count:40
+    QCheck.(triple (int_range 1 50) (int_range 1 12) (int_bound 999))
+    (fun (n, d, seed) ->
+      let rng = Rng.create ~seed in
+      let points = random_points rng ~n ~d ~range:20. in
+      let q = Array.init d (fun _ -> Rng.float rng 20.) in
+      let oracle =
+        let idx = Linear.create points in
+        Array.init n (fun k ->
+            match Linear.nth_nearest idx q (k + 1) with
+            | Some (i, _) -> i
+            | None -> -1)
+      in
+      List.for_all
+        (fun (b : Backend.t) ->
+          let index = b.Backend.build points in
+          let s = index.Backend.stream ~query:q ~max_dist:infinity in
+          let ok = ref true in
+          Array.iteri
+            (fun k expected ->
+              match s.Backend.get (k + 1) with
+              | Some (i, _) when i = expected -> ()
+              | _ -> ok := false)
+            oracle;
+          !ok && s.Backend.get (n + 1) = None)
+        Backend.all)
+
+let test_solvers_identical_across_backends () =
+  (* The backend is an implementation detail: every solver must return the
+     same arrangement whatever index serves the streams. *)
+  let cfg =
+    {
+      Synthetic.default with
+      Synthetic.n_events = 8;
+      n_users = 30;
+      dim = 6;
+      event_capacity = Synthetic.Cap_uniform 4;
+      user_capacity = Synthetic.Cap_uniform 2;
+    }
+  in
+  List.iter
+    (fun seed ->
+      let reference =
+        Matching.pairs (Greedy.solve (Synthetic.generate ~seed cfg))
+      in
+      let reference_exact =
+        Matching.pairs
+          (Exact.solve_prune (Synthetic.generate ~seed cfg))
+      in
+      List.iter
+        (fun (b : Backend.t) ->
+          let t = Synthetic.generate ~seed ~backend:b cfg in
+          Alcotest.(check (list (pair int int)))
+            (Printf.sprintf "greedy via %s (seed %d)" b.Backend.name seed)
+            reference
+            (Matching.pairs (Greedy.solve t));
+          let t2 = Synthetic.generate ~seed ~backend:b cfg in
+          Alcotest.(check (list (pair int int)))
+            (Printf.sprintf "prune via %s (seed %d)" b.Backend.name seed)
+            reference_exact
+            (Matching.pairs (Exact.solve_prune t2)))
+        Backend.all)
+    [ 1; 2; 3 ]
+
+let suite =
+  [
+    Alcotest.test_case "va-file build" `Quick test_va_build;
+    Alcotest.test_case "va-file exact order" `Quick test_va_exact_order;
+    Alcotest.test_case "va-file 1 bit per dim" `Quick test_va_one_bit;
+    Alcotest.test_case "va-file high-d" `Quick test_va_high_d;
+    Alcotest.test_case "va-file saves refinements" `Quick
+      test_va_saves_refinements;
+    Alcotest.test_case "va-file cutoff" `Quick test_va_cutoff;
+    Alcotest.test_case "idistance build" `Quick test_idistance_build;
+    Alcotest.test_case "idistance exact order" `Quick
+      test_idistance_exact_order;
+    Alcotest.test_case "idistance single reference" `Quick
+      test_idistance_single_reference;
+    Alcotest.test_case "idistance many references" `Quick
+      test_idistance_many_references;
+    Alcotest.test_case "idistance query on a point" `Quick
+      test_idistance_query_on_point;
+    Alcotest.test_case "idistance cutoff" `Quick test_idistance_cutoff;
+    Alcotest.test_case "backend of_string" `Quick test_backend_of_string;
+    QCheck_alcotest.to_alcotest prop_backends_agree;
+    Alcotest.test_case "solvers identical across backends" `Quick
+      test_solvers_identical_across_backends;
+  ]

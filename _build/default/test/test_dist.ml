@@ -1,0 +1,109 @@
+(* Distributions: support bounds, moments, Zipf skew, integer conversion. *)
+
+open Geacc_util
+
+let rng () = Rng.create ~seed:77
+
+let sample_many d n =
+  let r = rng () in
+  let s = Dist.sampler d in
+  Array.init n (fun _ -> s r)
+
+let test_uniform_bounds () =
+  let xs = sample_many (Dist.uniform 2. 8.) 20_000 in
+  Array.iter
+    (fun x -> Alcotest.(check bool) "in [2,8]" true (x >= 2. && x <= 8.))
+    xs
+
+let test_uniform_moments () =
+  let s = Stats.of_array (sample_many (Dist.uniform 0. 10.) 50_000) in
+  Alcotest.(check bool) "mean near 5" true (Float.abs (s.Stats.mean -. 5.) < 0.1);
+  (* stddev of U[0,10] is 10/sqrt(12) ~ 2.887 *)
+  Alcotest.(check bool) "stddev near 2.89" true
+    (Float.abs (s.Stats.stddev -. 2.887) < 0.1)
+
+let test_uniform_degenerate () =
+  let xs = sample_many (Dist.uniform 3. 3.) 100 in
+  Array.iter (fun x -> Alcotest.(check (float 0.) ) "constant" 3. x) xs
+
+let test_normal_truncation () =
+  let d = Dist.normal ~mu:5. ~sigma:10. ~lo:0. ~hi:10. () in
+  let xs = sample_many d 20_000 in
+  Array.iter
+    (fun x -> Alcotest.(check bool) "truncated to [0,10]" true (x >= 0. && x <= 10.))
+    xs
+
+let test_normal_moments () =
+  let d = Dist.normal ~mu:25. ~sigma:12.5 () in
+  let s = Stats.of_array (sample_many d 50_000) in
+  Alcotest.(check bool) "mean near 25" true (Float.abs (s.Stats.mean -. 25.) < 0.5);
+  Alcotest.(check bool) "stddev near 12.5" true
+    (Float.abs (s.Stats.stddev -. 12.5) < 0.5)
+
+let test_normal_zero_sigma () =
+  let d = Dist.normal ~mu:4. ~sigma:0. () in
+  let xs = sample_many d 50 in
+  Array.iter (fun x -> Alcotest.(check (float 1e-9)) "constant at mu" 4. x) xs
+
+let test_zipf_bounds () =
+  let d = Dist.zipf ~n:100 ~lo:0. ~hi:99. () in
+  let xs = sample_many d 20_000 in
+  Array.iter
+    (fun x -> Alcotest.(check bool) "in [0,99]" true (x >= 0. && x <= 99.))
+    xs
+
+let test_zipf_skew () =
+  (* With exponent 1.3, rank 1 mass is 1/H where H = sum k^-1.3; for n=100
+     that is about 0.28 — the first value must dominate. *)
+  let d = Dist.zipf ~n:100 ~lo:0. ~hi:99. () in
+  let xs = sample_many d 50_000 in
+  let first = Array.fold_left (fun acc x -> if x = 0. then acc + 1 else acc) 0 xs in
+  let rate = float_of_int first /. 50_000. in
+  Alcotest.(check bool) "rank-1 mass in (0.2, 0.4)" true
+    (rate > 0.2 && rate < 0.4);
+  (* Monotonicity: first decile outweighs last decile by a wide margin. *)
+  let low = Array.fold_left (fun a x -> if x < 10. then a + 1 else a) 0 xs
+  and high = Array.fold_left (fun a x -> if x >= 90. then a + 1 else a) 0 xs in
+  Alcotest.(check bool) "head outweighs tail 10x" true (low > 10 * high)
+
+let test_zipf_single_rank () =
+  let d = Dist.zipf ~n:1 ~lo:7. ~hi:9. () in
+  let xs = sample_many d 20 in
+  Array.iter (fun x -> Alcotest.(check (float 1e-9)) "lo for n=1" 7. x) xs
+
+let test_sample_int_rounds () =
+  let r = rng () in
+  for _ = 1 to 1000 do
+    let x = Dist.sample_int (Dist.uniform 1. 4.) r in
+    Alcotest.(check bool) "rounded into [1,4]" true (x >= 1 && x <= 4)
+  done
+
+let test_mean_bounds () =
+  Alcotest.(check (pair (float 0.) (float 0.)))
+    "uniform support" (1., 5.)
+    (Dist.mean_bounds (Dist.uniform 1. 5.));
+  let lo, hi = Dist.mean_bounds (Dist.normal ~mu:0. ~sigma:1. ()) in
+  Alcotest.(check (float 1e-9)) "default lo = mu-6s" (-6.) lo;
+  Alcotest.(check (float 1e-9)) "default hi = mu+6s" 6. hi
+
+let test_pp () =
+  Alcotest.(check string) "uniform pp" "Uniform[1,50]"
+    (Format.asprintf "%a" Dist.pp (Dist.uniform 1. 50.));
+  Alcotest.(check string) "zipf pp" "Zipf(s=1.3,n=10)"
+    (Format.asprintf "%a" Dist.pp (Dist.zipf ~n:10 ~lo:0. ~hi:1. ()))
+
+let suite =
+  [
+    Alcotest.test_case "uniform bounds" `Quick test_uniform_bounds;
+    Alcotest.test_case "uniform moments" `Quick test_uniform_moments;
+    Alcotest.test_case "uniform degenerate" `Quick test_uniform_degenerate;
+    Alcotest.test_case "normal truncation" `Quick test_normal_truncation;
+    Alcotest.test_case "normal moments" `Quick test_normal_moments;
+    Alcotest.test_case "normal zero sigma" `Quick test_normal_zero_sigma;
+    Alcotest.test_case "zipf bounds" `Quick test_zipf_bounds;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "zipf single rank" `Quick test_zipf_single_rank;
+    Alcotest.test_case "sample_int rounds" `Quick test_sample_int_rounds;
+    Alcotest.test_case "mean_bounds" `Quick test_mean_bounds;
+    Alcotest.test_case "pp" `Quick test_pp;
+  ]

@@ -1,0 +1,325 @@
+(* Flow substrate: residual graph mechanics, shortest paths (Dijkstra vs
+   Bellman-Ford), Edmonds-Karp, and the SSP min-cost-flow solver checked
+   against brute-force assignment enumeration. *)
+
+open Geacc_flow
+module Rng = Geacc_util.Rng
+
+let test_graph_basics () =
+  let g = Graph.create ~num_nodes:3 in
+  let a = Graph.add_arc g ~src:0 ~dst:1 ~capacity:5 ~cost:2. in
+  let b = Graph.add_arc g ~src:1 ~dst:2 ~capacity:3 ~cost:(-1.) in
+  Alcotest.(check int) "node count" 3 (Graph.node_count g);
+  Alcotest.(check int) "arcs incl. residuals" 4 (Graph.arc_count g);
+  Alcotest.(check int) "src" 0 (Graph.src g a);
+  Alcotest.(check int) "dst" 1 (Graph.dst g a);
+  Alcotest.(check (float 0.)) "cost" 2. (Graph.cost g a);
+  Alcotest.(check (float 0.)) "residual cost negated" (-2.)
+    (Graph.cost g (a lxor 1));
+  Alcotest.(check int) "residual capacity" 5 (Graph.residual_capacity g a);
+  Alcotest.(check int) "partner starts empty" 0
+    (Graph.residual_capacity g (a lxor 1));
+  Graph.push g a 2;
+  Alcotest.(check int) "flow" 2 (Graph.flow g a);
+  Alcotest.(check int) "capacity decreased" 3 (Graph.residual_capacity g a);
+  Alcotest.(check int) "partner grew" 2 (Graph.residual_capacity g (a lxor 1));
+  Graph.push g (a lxor 1) 1;
+  Alcotest.(check int) "push back cancels" 1 (Graph.flow g a);
+  Graph.reset_flow g;
+  Alcotest.(check int) "reset" 0 (Graph.flow g a);
+  Alcotest.(check int) "reset partner" 0 (Graph.residual_capacity g (a lxor 1));
+  ignore b
+
+let test_graph_excess () =
+  let g = Graph.create ~num_nodes:4 in
+  let a1 = Graph.add_arc g ~src:0 ~dst:1 ~capacity:2 ~cost:0. in
+  let a2 = Graph.add_arc g ~src:1 ~dst:2 ~capacity:2 ~cost:0. in
+  Graph.push g a1 2;
+  Graph.push g a2 1;
+  Alcotest.(check int) "inner node excess" 1 (Graph.excess g 1);
+  Alcotest.(check int) "source excess" (-2) (Graph.excess g 0);
+  Alcotest.(check int) "sink side" 1 (Graph.excess g 2);
+  Alcotest.(check int) "isolated node" 0 (Graph.excess g 3)
+
+(* A small fixed graph with a known shortest-path structure. *)
+let diamond () =
+  let g = Graph.create ~num_nodes:4 in
+  (* 0 -> 1 (1.0), 0 -> 2 (4.0), 1 -> 2 (2.0), 1 -> 3 (6.0), 2 -> 3 (1.0) *)
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~capacity:10 ~cost:1.);
+  ignore (Graph.add_arc g ~src:0 ~dst:2 ~capacity:10 ~cost:4.);
+  ignore (Graph.add_arc g ~src:1 ~dst:2 ~capacity:10 ~cost:2.);
+  ignore (Graph.add_arc g ~src:1 ~dst:3 ~capacity:10 ~cost:6.);
+  ignore (Graph.add_arc g ~src:2 ~dst:3 ~capacity:10 ~cost:1.);
+  g
+
+let test_dijkstra_diamond () =
+  let g = diamond () in
+  let { Shortest_path.dist; parent_arc } =
+    Shortest_path.dijkstra g ~source:0 ()
+  in
+  Alcotest.(check (array (float 1e-9))) "distances" [| 0.; 1.; 3.; 4. |] dist;
+  (* Path to 3 goes through 2. *)
+  Alcotest.(check int) "parent of 3 comes from 2" 2
+    (Graph.src g parent_arc.(3))
+
+let test_dijkstra_respects_capacity () =
+  let g = diamond () in
+  (* Saturate 1 -> 2; shortest to 2 becomes the direct 4.0 arc. *)
+  Graph.iter_out_arcs g 1 (fun a ->
+      if Graph.dst g a = 2 && a land 1 = 0 then Graph.push g a 10);
+  let { Shortest_path.dist; _ } = Shortest_path.dijkstra g ~source:0 () in
+  Alcotest.(check (float 1e-9)) "rerouted distance" 4. dist.(2)
+
+let test_dijkstra_unreachable () =
+  let g = Graph.create ~num_nodes:3 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~capacity:1 ~cost:1.);
+  let { Shortest_path.dist; _ } = Shortest_path.dijkstra g ~source:0 () in
+  Alcotest.(check bool) "node 2 unreachable" true (dist.(2) = infinity)
+
+let test_bellman_ford_negative () =
+  let g = Graph.create ~num_nodes:3 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~capacity:1 ~cost:5.);
+  ignore (Graph.add_arc g ~src:0 ~dst:2 ~capacity:1 ~cost:1.);
+  ignore (Graph.add_arc g ~src:2 ~dst:1 ~capacity:1 ~cost:(-3.));
+  match Shortest_path.bellman_ford g ~source:0 with
+  | None -> Alcotest.fail "no negative cycle here"
+  | Some { Shortest_path.dist; _ } ->
+      Alcotest.(check (float 1e-9)) "negative arc used" (-2.) dist.(1)
+
+let test_bellman_ford_detects_cycle () =
+  let g = Graph.create ~num_nodes:3 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~capacity:1 ~cost:1.);
+  ignore (Graph.add_arc g ~src:1 ~dst:2 ~capacity:5 ~cost:(-4.));
+  ignore (Graph.add_arc g ~src:2 ~dst:1 ~capacity:5 ~cost:1.);
+  Alcotest.(check bool) "negative cycle detected" true
+    (Shortest_path.bellman_ford g ~source:0 = None)
+
+let random_graph rng ~n ~arcs =
+  let g = Graph.create ~num_nodes:n in
+  for _ = 1 to arcs do
+    let src = Rng.int rng n and dst = Rng.int rng n in
+    if src <> dst then
+      ignore
+        (Graph.add_arc g ~src ~dst
+           ~capacity:(1 + Rng.int rng 5)
+           ~cost:(Rng.float rng 10.))
+  done;
+  g
+
+let test_dijkstra_agrees_with_bellman_ford () =
+  let rng = Rng.create ~seed:4 in
+  for _ = 1 to 50 do
+    let g = random_graph rng ~n:8 ~arcs:20 in
+    let d = Shortest_path.dijkstra g ~source:0 () in
+    match Shortest_path.bellman_ford g ~source:0 with
+    | None -> Alcotest.fail "non-negative costs cannot cycle"
+    | Some b ->
+        Array.iteri
+          (fun i dd ->
+            if dd = infinity then
+              Alcotest.(check bool)
+                "both unreachable" true
+                (b.Shortest_path.dist.(i) = infinity)
+            else
+              Alcotest.(check (float 1e-6))
+                "distance agreement" b.Shortest_path.dist.(i) dd)
+          d.Shortest_path.dist
+  done
+
+let test_maxflow_known () =
+  (* Classic: two disjoint augmenting paths plus a cross arc. *)
+  let g = Graph.create ~num_nodes:4 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~capacity:3 ~cost:0.);
+  ignore (Graph.add_arc g ~src:0 ~dst:2 ~capacity:2 ~cost:0.);
+  ignore (Graph.add_arc g ~src:1 ~dst:3 ~capacity:2 ~cost:0.);
+  ignore (Graph.add_arc g ~src:2 ~dst:3 ~capacity:3 ~cost:0.);
+  ignore (Graph.add_arc g ~src:1 ~dst:2 ~capacity:1 ~cost:0.);
+  Alcotest.(check int) "max flow 5" 5 (Maxflow.solve g ~source:0 ~sink:3)
+
+let test_maxflow_conservation () =
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 30 do
+    let g = random_graph rng ~n:7 ~arcs:15 in
+    let f = Maxflow.solve g ~source:0 ~sink:6 in
+    Alcotest.(check bool) "non-negative value" true (f >= 0);
+    for n = 1 to 5 do
+      Alcotest.(check int) "conservation at inner nodes" 0 (Graph.excess g n)
+    done;
+    Alcotest.(check int) "sink receives the flow" f (Graph.excess g 6)
+  done
+
+(* Brute-force minimum-cost perfect assignment over permutations. *)
+let brute_force_assignment costs =
+  let n = Array.length costs in
+  let best = ref infinity in
+  let rec go used acc i =
+    if acc >= !best then ()
+    else if i = n then best := acc
+    else
+      for j = 0 to n - 1 do
+        if not used.(j) then begin
+          used.(j) <- true;
+          go used (acc +. costs.(i).(j)) (i + 1);
+          used.(j) <- false
+        end
+      done
+  in
+  go (Array.make n false) 0. 0;
+  !best
+
+let assignment_graph costs =
+  let n = Array.length costs in
+  let g = Graph.create ~num_nodes:(2 + (2 * n)) in
+  let src = 0 and sink = 1 in
+  for i = 0 to n - 1 do
+    ignore (Graph.add_arc g ~src ~dst:(2 + i) ~capacity:1 ~cost:0.);
+    ignore (Graph.add_arc g ~src:(2 + n + i) ~dst:sink ~capacity:1 ~cost:0.)
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      ignore
+        (Graph.add_arc g ~src:(2 + i) ~dst:(2 + n + j) ~capacity:1
+           ~cost:costs.(i).(j))
+    done
+  done;
+  (g, src, sink)
+
+let test_mcf_matches_brute_force () =
+  let rng = Rng.create ~seed:6 in
+  for _ = 1 to 25 do
+    let n = 2 + Rng.int rng 4 in
+    let costs =
+      Array.init n (fun _ -> Array.init n (fun _ -> Rng.float rng 1.))
+    in
+    let g, source, sink = assignment_graph costs in
+    let outcome = Mcf.solve g ~source ~sink () in
+    Alcotest.(check int) "perfect assignment" n outcome.Mcf.flow;
+    Alcotest.(check (float 1e-6)) "optimal cost" (brute_force_assignment costs)
+      outcome.Mcf.cost
+  done
+
+let test_mcf_per_unit_prefix () =
+  (* After the k-th unit, the flow must be a min-cost flow of value k:
+     solving from scratch with target k gives the same cost. *)
+  let rng = Rng.create ~seed:7 in
+  let n = 4 in
+  let costs = Array.init n (fun _ -> Array.init n (fun _ -> Rng.float rng 1.)) in
+  let cumulative = ref [] in
+  let acc = ref 0. in
+  let g, source, sink = assignment_graph costs in
+  let (_ : Mcf.outcome) =
+    Mcf.solve g ~source ~sink
+      ~on_augment:(fun ~units ~path_cost ->
+        acc := !acc +. (float_of_int units *. path_cost);
+        cumulative := (!acc) :: !cumulative;
+        `Continue)
+      ()
+  in
+  List.iteri
+    (fun i expected ->
+      let k = List.length !cumulative - i in
+      let g2, source, sink = assignment_graph costs in
+      let outcome = Mcf.solve g2 ~source ~sink ~target_flow:k () in
+      Alcotest.(check int) "target reached" k outcome.Mcf.flow;
+      Alcotest.(check (float 1e-6)) "prefix optimality" expected
+        outcome.Mcf.cost)
+    !cumulative
+
+let test_mcf_path_costs_non_decreasing () =
+  let rng = Rng.create ~seed:8 in
+  for _ = 1 to 20 do
+    let n = 3 + Rng.int rng 3 in
+    let costs = Array.init n (fun _ -> Array.init n (fun _ -> Rng.float rng 1.)) in
+    let g, source, sink = assignment_graph costs in
+    let last = ref neg_infinity in
+    let (_ : Mcf.outcome) =
+      Mcf.solve g ~source ~sink
+        ~on_augment:(fun ~units:_ ~path_cost ->
+          Alcotest.(check bool) "non-decreasing path costs" true
+            (path_cost >= !last -. 1e-9);
+          last := path_cost;
+          `Continue)
+        ()
+    in
+    ()
+  done
+
+let test_mcf_should_augment_stops_before_push () =
+  let costs = [| [| 0.1; 0.9 |]; [| 0.8; 0.95 |] |] in
+  let g, source, sink = assignment_graph costs in
+  (* Refuse any path costing more than 0.5: only the 0.1 unit goes through. *)
+  let outcome =
+    Mcf.solve g ~source ~sink
+      ~should_augment:(fun ~path_cost -> path_cost < 0.5)
+      ()
+  in
+  Alcotest.(check int) "one unit" 1 outcome.Mcf.flow;
+  Alcotest.(check (float 1e-9)) "its cost" 0.1 outcome.Mcf.cost
+
+let test_mcf_negative_costs () =
+  (* A negative-cost arc forces the Bellman-Ford potential bootstrap. *)
+  let g = Graph.create ~num_nodes:4 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~capacity:1 ~cost:2.);
+  ignore (Graph.add_arc g ~src:0 ~dst:2 ~capacity:1 ~cost:0.);
+  ignore (Graph.add_arc g ~src:2 ~dst:1 ~capacity:1 ~cost:(-1.5));
+  ignore (Graph.add_arc g ~src:1 ~dst:3 ~capacity:2 ~cost:0.);
+  let outcome = Mcf.solve g ~source:0 ~sink:3 () in
+  Alcotest.(check int) "both units routed" 2 outcome.Mcf.flow;
+  Alcotest.(check (float 1e-9)) "cost uses the negative arc" 0.5
+    outcome.Mcf.cost
+
+let test_mcf_negative_cycle_raises () =
+  let g = Graph.create ~num_nodes:4 in
+  ignore (Graph.add_arc g ~src:0 ~dst:1 ~capacity:1 ~cost:0.);
+  ignore (Graph.add_arc g ~src:1 ~dst:2 ~capacity:5 ~cost:(-2.));
+  ignore (Graph.add_arc g ~src:2 ~dst:1 ~capacity:5 ~cost:1.);
+  ignore (Graph.add_arc g ~src:2 ~dst:3 ~capacity:1 ~cost:0.);
+  Alcotest.check_raises "negative cycle" Mcf.Negative_cycle (fun () ->
+      ignore (Mcf.solve g ~source:0 ~sink:3 ()))
+
+let test_mcf_agrees_with_maxflow () =
+  let rng = Rng.create ~seed:9 in
+  for _ = 1 to 20 do
+    let g = random_graph rng ~n:8 ~arcs:18 in
+    let g' = Graph.create ~num_nodes:8 in
+    (* Duplicate structure for the max-flow oracle. *)
+    Graph.fold_forward_arcs g ~init:() ~f:(fun () a ->
+        ignore
+          (Graph.add_arc g' ~src:(Graph.src g a) ~dst:(Graph.dst g a)
+             ~capacity:(Graph.residual_capacity g a) ~cost:0.));
+    let mf = Maxflow.solve g' ~source:0 ~sink:7 in
+    let outcome = Mcf.solve g ~source:0 ~sink:7 () in
+    Alcotest.(check int) "saturating MCF routes the max flow" mf
+      outcome.Mcf.flow
+  done
+
+let suite =
+  [
+    Alcotest.test_case "graph basics" `Quick test_graph_basics;
+    Alcotest.test_case "graph excess" `Quick test_graph_excess;
+    Alcotest.test_case "dijkstra diamond" `Quick test_dijkstra_diamond;
+    Alcotest.test_case "dijkstra respects capacity" `Quick
+      test_dijkstra_respects_capacity;
+    Alcotest.test_case "dijkstra unreachable" `Quick test_dijkstra_unreachable;
+    Alcotest.test_case "bellman-ford negative arc" `Quick
+      test_bellman_ford_negative;
+    Alcotest.test_case "bellman-ford cycle detection" `Quick
+      test_bellman_ford_detects_cycle;
+    Alcotest.test_case "dijkstra = bellman-ford" `Quick
+      test_dijkstra_agrees_with_bellman_ford;
+    Alcotest.test_case "maxflow known value" `Quick test_maxflow_known;
+    Alcotest.test_case "maxflow conservation" `Quick test_maxflow_conservation;
+    Alcotest.test_case "mcf = brute force assignment" `Quick
+      test_mcf_matches_brute_force;
+    Alcotest.test_case "mcf per-unit prefix optimality" `Quick
+      test_mcf_per_unit_prefix;
+    Alcotest.test_case "mcf path costs non-decreasing" `Quick
+      test_mcf_path_costs_non_decreasing;
+    Alcotest.test_case "mcf should_augment pre-push" `Quick
+      test_mcf_should_augment_stops_before_push;
+    Alcotest.test_case "mcf negative costs" `Quick test_mcf_negative_costs;
+    Alcotest.test_case "mcf negative cycle" `Quick
+      test_mcf_negative_cycle_raises;
+    Alcotest.test_case "mcf saturates to max flow" `Quick
+      test_mcf_agrees_with_maxflow;
+  ]

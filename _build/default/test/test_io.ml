@@ -1,0 +1,157 @@
+(* Serialisation: round-trips, format fidelity, malformed-input errors. *)
+
+open Geacc_core
+module Io = Geacc_io.Instance_io
+module Synthetic = Geacc_datagen.Synthetic
+
+let instances_equal a b =
+  Instance.n_events a = Instance.n_events b
+  && Instance.n_users a = Instance.n_users b
+  && Array.for_all2
+       (fun (x : Entity.t) (y : Entity.t) ->
+         x.Entity.capacity = y.Entity.capacity && x.Entity.attrs = y.Entity.attrs)
+       (Instance.events a) (Instance.events b)
+  && Array.for_all2
+       (fun (x : Entity.t) (y : Entity.t) ->
+         x.Entity.capacity = y.Entity.capacity && x.Entity.attrs = y.Entity.attrs)
+       (Instance.users a) (Instance.users b)
+  &&
+  let pairs cf =
+    let acc = ref [] in
+    Conflict.iter_pairs cf (fun v w -> acc := (v, w) :: !acc);
+    List.sort compare !acc
+  in
+  pairs (Instance.conflicts a) = pairs (Instance.conflicts b)
+  && Similarity.spec (Instance.similarity a)
+     = Similarity.spec (Instance.similarity b)
+
+let test_instance_roundtrip () =
+  let t =
+    Synthetic.generate ~seed:1
+      { Synthetic.default with Synthetic.n_events = 10; n_users = 25; dim = 3 }
+  in
+  let t' = Io.load_instance (Io.save_instance t) in
+  Alcotest.(check bool) "round-trip preserves everything" true
+    (instances_equal t t');
+  (* Similarities agree numerically on a sample pair. *)
+  Alcotest.(check (float 1e-12)) "sim identical" (Instance.sim t ~v:3 ~u:7)
+    (Instance.sim t' ~v:3 ~u:7)
+
+let test_instance_roundtrip_other_sims () =
+  let mk sim =
+    let e = [| Entity.make ~id:0 ~attrs:[| 0.25; 0.5 |] ~capacity:2 |] in
+    let u =
+      [|
+        Entity.make ~id:0 ~attrs:[| 0.5; 0.5 |] ~capacity:1;
+        Entity.make ~id:1 ~attrs:[| 0.; 1. |] ~capacity:1;
+      |]
+    in
+    Instance.create ~sim ~events:e ~users:u
+      ~conflicts:(Conflict.create ~n_events:1) ()
+  in
+  List.iter
+    (fun sim ->
+      let t = mk sim in
+      Alcotest.(check bool)
+        (Similarity.name sim ^ " round-trips")
+        true
+        (instances_equal t (Io.load_instance (Io.save_instance t))))
+    [ Similarity.gaussian ~sigma:0.7; Similarity.cosine ]
+
+let test_custom_sim_not_serialisable () =
+  let sim = Similarity.custom ~name:"opaque" (fun _ _ -> 1.) in
+  let e = [| Entity.make ~id:0 ~attrs:[| 0. |] ~capacity:1 |] in
+  let t =
+    Instance.create ~sim ~events:e ~users:e
+      ~conflicts:(Conflict.create ~n_events:1) ()
+  in
+  Alcotest.(check bool) "custom similarity rejected" true
+    (try
+       ignore (Io.save_instance t);
+       false
+     with Invalid_argument _ -> true)
+
+let test_file_roundtrip () =
+  let t =
+    Synthetic.generate ~seed:2
+      { Synthetic.default with Synthetic.n_events = 5; n_users = 8; dim = 2 }
+  in
+  let path = Filename.temp_file "geacc_test" ".inst" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Io.write_instance ~path t;
+      Alcotest.(check bool) "file round-trip" true
+        (instances_equal t (Io.read_instance ~path)))
+
+let test_pairs_roundtrip () =
+  let pairs = [ (0, 3); (2, 1); (4, 4) ] in
+  Alcotest.(check (list (pair int int))) "pairs round-trip" pairs
+    (Io.load_pairs (Io.save_pairs pairs));
+  Alcotest.(check (list (pair int int))) "empty matching" []
+    (Io.load_pairs (Io.save_pairs []))
+
+let test_comments_and_blanks_ignored () =
+  let text =
+    "# a comment\n\ngeacc-matching 1\n  pairs 1  \n# another\n3 4\n\n"
+  in
+  Alcotest.(check (list (pair int int))) "lenient whitespace" [ (3, 4) ]
+    (Io.load_pairs text)
+
+let expect_parse_error text =
+  try
+    ignore (Io.load_pairs text);
+    false
+  with Io.Parse_error _ -> true
+
+let expect_instance_error text =
+  try
+    ignore (Io.load_instance text);
+    false
+  with Io.Parse_error _ -> true
+
+let test_malformed_inputs () =
+  Alcotest.(check bool) "bad magic" true (expect_parse_error "nonsense 1\npairs 0\n");
+  Alcotest.(check bool) "missing count" true
+    (expect_parse_error "geacc-matching 1\npairs\n");
+  Alcotest.(check bool) "non-integer pair" true
+    (expect_parse_error "geacc-matching 1\npairs 1\nx y\n");
+  Alcotest.(check bool) "truncated" true
+    (expect_parse_error "geacc-matching 1\npairs 2\n0 0\n");
+  Alcotest.(check bool) "trailing garbage" true
+    (expect_parse_error "geacc-matching 1\npairs 1\n0 0\nleftover\n")
+
+let test_malformed_instances () =
+  Alcotest.(check bool) "bad sim" true
+    (expect_instance_error "geacc-instance 1\nsim nonsense\nevents 0\nusers 0\nconflicts 0\n");
+  Alcotest.(check bool) "bad entity line" true
+    (expect_instance_error
+       "geacc-instance 1\nsim euclidean 1 1\nevents 1\nnot-a-number 0.5\nusers 0\nconflicts 0\n");
+  Alcotest.(check bool) "conflict out of range" true
+    (expect_instance_error
+       "geacc-instance 1\nsim euclidean 1 1\nevents 1\n1 0.5\nusers 1\n1 0.5\nconflicts 1\n0 5\n");
+  Alcotest.(check bool) "missing section" true
+    (expect_instance_error "geacc-instance 1\nsim euclidean 1 1\nusers 0\n")
+
+let test_parse_error_carries_line () =
+  try
+    ignore (Io.load_pairs "geacc-matching 1\npairs 1\nbad line\n")
+  with Io.Parse_error { line; _ } ->
+    Alcotest.(check int) "line number" 3 line
+
+let suite =
+  [
+    Alcotest.test_case "instance round-trip" `Quick test_instance_roundtrip;
+    Alcotest.test_case "other similarities round-trip" `Quick
+      test_instance_roundtrip_other_sims;
+    Alcotest.test_case "custom sim not serialisable" `Quick
+      test_custom_sim_not_serialisable;
+    Alcotest.test_case "file round-trip" `Quick test_file_roundtrip;
+    Alcotest.test_case "pairs round-trip" `Quick test_pairs_roundtrip;
+    Alcotest.test_case "comments and blanks" `Quick
+      test_comments_and_blanks_ignored;
+    Alcotest.test_case "malformed matchings" `Quick test_malformed_inputs;
+    Alcotest.test_case "malformed instances" `Quick test_malformed_instances;
+    Alcotest.test_case "parse error line numbers" `Quick
+      test_parse_error_carries_line;
+  ]

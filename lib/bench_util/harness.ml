@@ -32,7 +32,7 @@ let measure ?(seed = 42) algorithm make_instance =
              Validate.pp_violation)
           violations
       in
-      failwith msg);
+      failwith msg (* lint: ok — infeasible solver output is a fatal bug *));
   {
     algorithm;
     maxsum = Matching.maxsum matching;

@@ -1,0 +1,95 @@
+exception Violation of { site : string; detail : string }
+
+let () =
+  Printexc.register_printer (function
+    | Violation { site; detail } ->
+        Some (Printf.sprintf "Audit.Violation at %s: %s" site detail)
+    | _ -> None)
+
+let state =
+  ref
+    (match Sys.getenv_opt "GEACC_AUDIT" with
+    | None | Some ("" | "0" | "false") -> false
+    | Some _ -> true)
+
+let enabled () = !state
+let set_enabled b = state := b
+
+let with_enabled b f =
+  let saved = !state in
+  state := b;
+  Fun.protect ~finally:(fun () -> state := saved) f
+
+let fail ~site detail = raise (Violation { site; detail })
+let failf ~site fmt = Printf.ksprintf (fail ~site) fmt
+
+module Flow = struct
+  module G = Geacc_flow.Graph
+
+  let check_capacity ~site g =
+    let m = G.arc_count g in
+    let a = ref 0 in
+    while !a < m do
+      let fwd = !a and bwd = !a + 1 in
+      let r_fwd = G.residual_capacity g fwd
+      and r_bwd = G.residual_capacity g bwd in
+      if r_fwd < 0 then
+        failf ~site "arc %d has negative residual capacity %d" fwd r_fwd;
+      if r_bwd < 0 then
+        failf ~site "residual arc %d has negative capacity %d" bwd r_bwd;
+      let total = G.initial_capacity g fwd + G.initial_capacity g bwd in
+      if r_fwd + r_bwd <> total then
+        failf ~site
+          "arc pair %d/%d leaks capacity: residual %d + %d <> initial %d" fwd
+          bwd r_fwd r_bwd total;
+      let fl = G.flow g fwd in
+      if fl < 0 || fl > G.initial_capacity g fwd then
+        failf ~site "arc %d carries flow %d outside [0, %d]" fwd fl
+          (G.initial_capacity g fwd);
+      a := !a + 2
+    done
+
+  let check_conservation ~site g ~source ~sink =
+    let n = G.node_count g in
+    let net = Array.make n 0 in
+    G.fold_forward_arcs g ~init:() ~f:(fun () a ->
+        let fl = G.flow g a in
+        net.(G.dst g a) <- net.(G.dst g a) + fl;
+        net.(G.src g a) <- net.(G.src g a) - fl);
+    for v = 0 to n - 1 do
+      if v <> source && v <> sink && net.(v) <> 0 then
+        failf ~site "node %d violates conservation: net inflow %d" v net.(v)
+    done;
+    if source < n && sink < n && net.(source) + net.(sink) <> 0 then
+      failf ~site "source deficit %d does not match sink excess %d"
+        (-net.(source)) net.(sink)
+
+  let slack = 1e-6
+
+  let check_reduced_costs ~site g ~potential =
+    let m = G.arc_count g in
+    for a = 0 to m - 1 do
+      if G.residual_capacity g a > 0 then begin
+        let rc =
+          G.cost g a +. potential.(G.src g a) -. potential.(G.dst g a)
+        in
+        if rc < -.slack then
+          failf ~site "arc %d (%d -> %d) has negative reduced cost %.9f" a
+            (G.src g a) (G.dst g a) rc
+      end
+    done
+end
+
+module Heap = struct
+  let check_binary ~site h =
+    if not (Geacc_pqueue.Binary_heap.check_invariant h) then
+      fail ~site "binary heap order violated"
+
+  let check_pairing ~site h =
+    if not (Geacc_pqueue.Pairing_heap.check_invariant h) then
+      fail ~site "pairing heap order or size violated"
+
+  let check_float_int ~site h =
+    if not (Geacc_pqueue.Float_int_heap.check_invariant h) then
+      fail ~site "float-int heap order violated"
+end

@@ -95,6 +95,7 @@ let rec search s pos rank depth =
       | None ->
           (* State 1: matched. *)
           let (_ : float) = Matching.add_exn s.current ~v ~u in
+          Validate.audit_matching ~site:"Exact.search/match" s.current;
           s.user_slack <- s.user_slack -. s.user_best.(u);
           continue_from s pos rank depth;
           s.user_slack <- s.user_slack +. s.user_best.(u);

@@ -1,4 +1,5 @@
 module Heap = Geacc_pqueue.Binary_heap
+module Audit = Geacc_check.Audit
 
 type candidate = { sim : float; v : int; u : int }
 
@@ -102,6 +103,13 @@ let solve instance =
           refill_event st v;
         if Matching.remaining_user_capacity st.matching u > 0 then
           refill_user st u;
+        (* Audit at the step granularity: a conflict or capacity overflow is
+           reported at the pop that introduced it, with the heap's structure
+           checked alongside the partial matching. *)
+        if Audit.enabled () then begin
+          Audit.Heap.check_binary ~site:"Greedy.solve/pop" st.heap;
+          Validate.audit_matching ~site:"Greedy.solve/pop" st.matching
+        end;
         loop ()
   in
   loop ();

@@ -62,6 +62,19 @@ let add t ~v ~u =
       t.maxsum <- t.maxsum +. s;
       Ok s
 
+(* Fault injection for audit tests: perform the bookkeeping of [add] without
+   any feasibility check, so tests can build structurally corrupt matchings
+   and prove the audit checkers catch them. *)
+let unsafe_add t ~v ~u =
+  Hashtbl.replace t.present (key t ~v ~u) ();
+  t.event_load.(v) <- t.event_load.(v) + 1;
+  t.user_load.(u) <- t.user_load.(u) + 1;
+  t.user_events.(u) <- v :: t.user_events.(u);
+  t.size <- t.size + 1;
+  t.maxsum <- t.maxsum +. Instance.sim t.instance ~v ~u
+
+let unsafe_nudge_maxsum t delta = t.maxsum <- t.maxsum +. delta
+
 let reject_to_string = function
   | Event_full -> "event capacity exhausted"
   | User_full -> "user capacity exhausted"

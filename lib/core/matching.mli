@@ -61,3 +61,17 @@ val pairs : t -> (int * int) list
 
 val copy : t -> t
 val pp : Format.formatter -> t -> unit
+
+(** {2 Fault injection}
+
+    Test-only escape hatches for the audit layer: they deliberately corrupt
+    a matching so the test suite can prove each checker fires. Never call
+    these from solver code. *)
+
+val unsafe_add : t -> v:int -> u:int -> unit
+(** [add]'s bookkeeping with {e no} feasibility check: capacity overflows,
+    conflicts and duplicates are recorded as-is. *)
+
+val unsafe_nudge_maxsum : t -> float -> unit
+(** Shifts the cached incremental MaxSum by a delta, creating drift against
+    {!maxsum_recomputed}. *)

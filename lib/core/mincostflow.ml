@@ -1,5 +1,6 @@
 module Graph = Geacc_flow.Graph
 module Mcf = Geacc_flow.Mcf
+module Audit = Geacc_check.Audit
 
 type stats = {
   flow_value : int;
@@ -45,10 +46,24 @@ let solve_with_stats instance =
   (* A unit of flow adds 1 - path_cost to MaxSum; path costs only grow, so
      stopping before the first non-improving unit lands on the Δ with the
      largest MaxSum (the paper's argmax over Δ_min..Δ_max). *)
+  (* Audit hooks fire inside the SSP loop, so a broken invariant names the
+     augmentation that introduced it rather than surfacing after the run. *)
+  let audit_after_dijkstra ~potential =
+    if Audit.enabled () then
+      Audit.Flow.check_reduced_costs ~site:"Mincostflow.solve/dijkstra" g
+        ~potential
+  in
+  let audit_after_augment () =
+    if Audit.enabled () then begin
+      let site = "Mincostflow.solve/augment" in
+      Audit.Flow.check_capacity ~site g;
+      Audit.Flow.check_conservation ~site g ~source ~sink
+    end
+  in
   let outcome =
     Mcf.solve g ~source ~sink
       ~should_augment:(fun ~path_cost -> path_cost < 1.)
-      ()
+      ~audit_after_dijkstra ~audit_after_augment ()
   in
   (* M_∅: pairs carrying flow with positive similarity. *)
   let assigned = Array.make n_u [] in

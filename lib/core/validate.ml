@@ -6,6 +6,7 @@ type violation =
   | User_over_capacity of { u : int; load : int; capacity : int }
   | Non_positive_similarity of int * int
   | Conflicting_assignment of { u : int; v1 : int; v2 : int }
+  | Maxsum_drift of { incremental : float; recomputed : float }
 
 let check instance pairs =
   let n_v = Instance.n_events instance and n_u = Instance.n_users instance in
@@ -72,11 +73,12 @@ let is_feasible instance pairs = check instance pairs = []
 let check_matching m =
   let incremental = Matching.maxsum m in
   let recomputed = Matching.maxsum_recomputed m in
-  if Float.abs (incremental -. recomputed) > 1e-6 then
-    invalid_arg
-      (Printf.sprintf "Validate.check_matching: MaxSum drift (%.9f vs %.9f)"
-         incremental recomputed);
-  check (Matching.instance m) (Matching.pairs m)
+  let drift =
+    if Float.abs (incremental -. recomputed) > 1e-6 then
+      [ Maxsum_drift { incremental; recomputed } ]
+    else []
+  in
+  check (Matching.instance m) (Matching.pairs m) @ drift
 
 let pp_violation ppf = function
   | Event_id_out_of_range v -> Format.fprintf ppf "event id %d out of range" v
@@ -90,3 +92,15 @@ let pp_violation ppf = function
       Format.fprintf ppf "pair (v%d,u%d) has non-positive similarity" v u
   | Conflicting_assignment { u; v1; v2 } ->
       Format.fprintf ppf "user %d assigned conflicting events %d and %d" u v1 v2
+  | Maxsum_drift { incremental; recomputed } ->
+      Format.fprintf ppf "MaxSum drift: incremental %.9f vs recomputed %.9f"
+        incremental recomputed
+
+let audit_matching ~site m =
+  if Geacc_check.Audit.enabled () then
+    match check_matching m with
+    | [] -> ()
+    | v :: _ as vs ->
+        Geacc_check.Audit.failf ~site "%s (first of %d violations)"
+          (Format.asprintf "%a" pp_violation v)
+          (List.length vs)

@@ -12,6 +12,9 @@ type violation =
   | User_over_capacity of { u : int; load : int; capacity : int }
   | Non_positive_similarity of int * int
   | Conflicting_assignment of { u : int; v1 : int; v2 : int }
+  | Maxsum_drift of { incremental : float; recomputed : float }
+      (** The matching's incrementally-maintained MaxSum disagrees with a
+          from-scratch recomputation by more than 1e-6. *)
 
 val check : Instance.t -> (int * int) list -> violation list
 (** All violations of the pair list, in deterministic order; [] iff the
@@ -21,7 +24,12 @@ val is_feasible : Instance.t -> (int * int) list -> bool
 
 val check_matching : Matching.t -> violation list
 (** {!check} on [Matching.pairs], plus an internal-consistency comparison of
-    the incremental MaxSum against a recomputation (reported as
-    [Invalid_argument] if they drift beyond 1e-6). *)
+    the incremental MaxSum against a recomputation (reported as a trailing
+    [Maxsum_drift] violation when they differ beyond 1e-6). *)
+
+val audit_matching : site:string -> Matching.t -> unit
+(** Audit hook (see [Geacc_check.Audit]): when auditing is enabled, runs
+    {!check_matching} and raises [Geacc_check.Audit.Violation] carrying the
+    first violation found. No-op when auditing is disabled. *)
 
 val pp_violation : Format.formatter -> violation -> unit

@@ -84,6 +84,14 @@ let residual_capacity t a =
   check_arc t a;
   t.cap_.(a)
 
+let initial_capacity t a =
+  check_arc t a;
+  t.initial_cap.(a)
+
+let unsafe_set_residual_capacity t a k =
+  check_arc t a;
+  t.cap_.(a) <- k
+
 let flow t a =
   check_arc t a;
   if a land 1 <> 0 then invalid_arg "Graph.flow: residual arc";

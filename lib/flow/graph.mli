@@ -30,6 +30,14 @@ val cost : t -> arc -> float
 val residual_capacity : t -> arc -> int
 (** Remaining capacity of [a] in the residual network. *)
 
+val initial_capacity : t -> arc -> int
+(** Capacity of [a] at creation time (0 for residual partners). *)
+
+val unsafe_set_residual_capacity : t -> arc -> int -> unit
+(** Overwrites [a]'s residual capacity {e without} touching its partner,
+    breaking the pair-conservation invariant. Fault injection for audit
+    tests only — never call this from algorithm code. *)
+
 val flow : t -> arc -> int
 (** Flow currently carried by a {e forward} arc: capacity moved to its
     residual partner. Requires an even (forward) arc id. *)

@@ -14,10 +14,12 @@ let initial_potential g ~source =
     | Some { dist; _ } ->
         (* Unreachable nodes keep potential 0; they have no residual arcs
            from the reachable region, so their reduced costs never matter. *)
-        Array.map (fun d -> if d = infinity then 0. else d) dist
+        Array.map (fun d -> if Float.equal d infinity then 0. else d) dist
 
 let solve g ~source ~sink ?target_flow ?(should_augment = fun ~path_cost:_ -> true)
-    ?(on_augment = fun ~units:_ ~path_cost:_ -> `Continue) () =
+    ?(on_augment = fun ~units:_ ~path_cost:_ -> `Continue)
+    ?(audit_after_dijkstra = fun ~potential:_ -> ())
+    ?(audit_after_augment = fun () -> ()) () =
   assert (source <> sink);
   let pi = initial_potential g ~source in
   let total_flow = ref 0 in
@@ -31,7 +33,7 @@ let solve g ~source ~sink ?target_flow ?(should_augment = fun ~path_cost:_ -> tr
     let { Shortest_path.dist; parent_arc } =
       Shortest_path.dijkstra g ~source ~potential:pi ~stop_at:sink ()
     in
-    if dist.(sink) = infinity then continue := false
+    if Float.equal dist.(sink) infinity then continue := false
     else begin
       (* True source->sink path cost, before the potential update. *)
       let path_cost = dist.(sink) +. pi.(sink) -. pi.(source) in
@@ -43,6 +45,7 @@ let solve g ~source ~sink ?target_flow ?(should_augment = fun ~path_cost:_ -> tr
       Array.iteri
         (fun v d -> pi.(v) <- pi.(v) +. Float.min d cap)
         dist;
+      audit_after_dijkstra ~potential:pi;
       (* Bottleneck along the shortest path. *)
       let bottleneck = ref max_int in
       let v = ref sink in
@@ -68,6 +71,7 @@ let solve g ~source ~sink ?target_flow ?(should_augment = fun ~path_cost:_ -> tr
       total_flow := !total_flow + units;
       total_cost := !total_cost +. (float_of_int units *. path_cost);
       incr augmentations;
+      audit_after_augment ();
       (match on_augment ~units ~path_cost with
       | `Continue -> ()
       | `Stop -> continue := false)

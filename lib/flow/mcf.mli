@@ -24,6 +24,8 @@ val solve :
   ?target_flow:int ->
   ?should_augment:(path_cost:float -> bool) ->
   ?on_augment:(units:int -> path_cost:float -> [ `Continue | `Stop ]) ->
+  ?audit_after_dijkstra:(potential:float array -> unit) ->
+  ?audit_after_augment:(unit -> unit) ->
   unit ->
   outcome
 (** Augments until the sink is unreachable, [target_flow] is met,
@@ -34,4 +36,10 @@ val solve :
     MinCostFlow-GEACC stops at the Δ maximising MaxSum). [on_augment] fires
     after each augmentation with the units pushed and the (true,
     non-reduced) per-unit path cost. The flow pushed so far stays in the
-    graph — read it back with {!Graph.flow}. *)
+    graph — read it back with {!Graph.flow}.
+
+    The audit hooks default to no-ops and exist so callers can inject
+    invariant checkers (see [Geacc_check.Audit]) without this library
+    depending on them: [audit_after_dijkstra] fires once per iteration right
+    after the Johnson potentials are updated, [audit_after_augment] after
+    each augmentation's flow push. *)

@@ -23,8 +23,9 @@ let dijkstra g ~source ?potential ?stop_at () =
     | Some (d, u) ->
         if not settled.(u) then begin
           settled.(u) <- true;
-          assert (d = dist.(u));
-          if stop_at = Some u then finished := true
+          assert (Float.equal d dist.(u));
+          if (match stop_at with Some s -> Int.equal s u | None -> false)
+          then finished := true
           else
             Graph.iter_out_arcs g u (fun a ->
                 if Graph.residual_capacity g a > 0 then begin

@@ -205,10 +205,10 @@ let initial_radius s =
       probe (a.left - 1);
       probe a.right)
     s.annuli;
-  if !best = infinity then 0. else !best
+  if Float.equal !best infinity then 0. else !best
 
 let produce s =
-  if s.radius = 0. && Heap.is_empty s.candidates then begin
+  if Float.equal s.radius 0. && Heap.is_empty s.candidates then begin
     let r0 = initial_radius s in
     s.radius <- Stdlib.max r0 1e-12;
     expand s

@@ -93,7 +93,9 @@ let cursor t query ?(max_dist = infinity) () =
     {
       tree = t;
       query;
-      max_dist2 = (if max_dist = infinity then infinity else max_dist *. max_dist);
+      max_dist2 =
+        (if Float.equal max_dist infinity then infinity
+         else max_dist *. max_dist);
       frontier = Heap.create ~cmp:entry_cmp ();
       yielded = 0;
       work = 0;

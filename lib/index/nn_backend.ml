@@ -21,7 +21,8 @@ let kd_tree =
           stream =
             (fun ~query ~max_dist ->
               let s =
-                if max_dist = infinity then Nn_stream.create tree query ()
+                if Float.equal max_dist infinity then
+                  Nn_stream.create tree query ()
                 else Nn_stream.create tree query ~max_dist ()
               in
               { get = (fun rank -> Nn_stream.get s rank) });

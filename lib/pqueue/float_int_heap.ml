@@ -71,3 +71,10 @@ let pop t =
   end
 
 let clear t = t.size <- 0
+
+let check_invariant t =
+  let ok = ref true in
+  for i = 1 to t.size - 1 do
+    if t.keys.((i - 1) / 2) > t.keys.(i) then ok := false
+  done;
+  !ok

@@ -18,3 +18,6 @@ val pop : t -> (float * int) option
 
 val clear : t -> unit
 (** Empties without releasing storage (cheap reuse across Dijkstra runs). *)
+
+val check_invariant : t -> bool
+(** [true] iff every parent key is no larger than its children (audit hook). *)

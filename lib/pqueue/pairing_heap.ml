@@ -40,6 +40,29 @@ let pop t =
 
 let of_list ~cmp xs = List.fold_left push (empty ~cmp) xs
 
+let check_invariant t =
+  (* Explicit work list: heap order must hold on every parent/child edge and
+     the cached size must equal the node count. *)
+  let nodes = ref 0 in
+  let ordered = ref true in
+  let stack = ref [ t.root ] in
+  let continue = ref true in
+  while !continue do
+    match !stack with
+    | [] -> continue := false
+    | Leaf :: rest -> stack := rest
+    | Node (x, children) :: rest ->
+        incr nodes;
+        List.iter
+          (fun child ->
+            match child with
+            | Leaf -> ordered := false (* Leaf is never a stored child *)
+            | Node (y, _) -> if t.cmp x y > 0 then ordered := false)
+          children;
+        stack := List.rev_append children rest
+  done;
+  !ordered && Int.equal !nodes t.size
+
 let to_sorted_list t =
   let rec drain acc t =
     match pop t with None -> List.rev acc | Some (x, t') -> drain (x :: acc) t'

@@ -20,3 +20,7 @@ val peek : 'a t -> 'a option
 val pop : 'a t -> ('a * 'a t) option
 val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
 val to_sorted_list : 'a t -> 'a list
+
+val check_invariant : 'a t -> bool
+(** [true] iff every node orders no later than its children and the cached
+    size equals the node count (audit hook). *)

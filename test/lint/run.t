@@ -1,0 +1,73 @@
+geacc_lint over a fixture tree seeded with one violation per rule. The tree
+is created here at runtime so the real repository stays lint-clean.
+
+A hot-path library module with expression-level violations, no interface,
+a dune stanza declaring a dependency it never uses, and a reference to a
+library it never declares:
+
+  $ mkdir -p proj/lib/flow
+  $ cat > proj/lib/flow/dune <<'EOF'
+  > (library
+  >  (name demo_flow)
+  >  (libraries unix))
+  > EOF
+  $ cat > proj/lib/flow/bad.ml <<'EOF'
+  > let cast (x : int) : float = Obj.magic x
+  > let same a b = a = Some b
+  > let order : int -> int -> int = compare
+  > let boom () = failwith "boom"
+  > let nope () = assert false
+  > let reported = Alcotest.test_case
+  > EOF
+
+A tagged partial raise is suppressed:
+
+  $ cat >> proj/lib/flow/bad.ml <<'EOF'
+  > let fatal () = failwith "tagged" (* lint: ok *)
+  > EOF
+
+A module with a matching interface is not flagged by missing-mli:
+
+  $ cat > proj/lib/flow/good.ml <<'EOF'
+  > let id x = x
+  > EOF
+  $ cat > proj/lib/flow/good.mli <<'EOF'
+  > val id : 'a -> 'a
+  > EOF
+
+A file the compiler's parser rejects still produces a span, not a crash:
+
+  $ cat > proj/lib/flow/broken.ml <<'EOF'
+  > let oops =
+  > EOF
+
+Run the linter; every finding carries a file:line:col span and a rule id:
+
+  $ geacc_lint proj
+  proj/lib/flow/bad.ml:1:0: [missing-mli] library module without an interface; add a matching .mli
+  proj/lib/flow/bad.ml:1:29: [obj-magic] Obj.magic defeats the type system
+  proj/lib/flow/bad.ml:2:17: [poly-compare] polymorphic (=) on a non-scalar operand in a hot path; use a monomorphic equality
+  proj/lib/flow/bad.ml:3:32: [poly-compare] polymorphic compare in a hot path; use a monomorphic comparison (Int.compare, Float.compare, ...)
+  proj/lib/flow/bad.ml:4:14: [partial-raise] failwith in library code; return a result or tag the line with (* lint: ok *)
+  proj/lib/flow/bad.ml:5:14: [partial-raise] assert false in library code; make the case impossible or tag the line with (* lint: ok *)
+  proj/lib/flow/broken.ml:1:0: [missing-mli] library module without an interface; add a matching .mli
+  proj/lib/flow/broken.ml:2:0: [parse-error] the compiler's parser rejects this file
+  proj/lib/flow/dune:1:0: [dune-undeclared-dep] module Alcotest is referenced but library alcotest is not declared in (libraries ...)
+  proj/lib/flow/dune:3:0: [dune-unused-dep] library unix is declared but module Unix is never referenced by this stanza
+  [1]
+
+A clean tree exits 0:
+
+  $ mkdir -p clean/lib/ok
+  $ cat > clean/lib/ok/dune <<'EOF'
+  > (library
+  >  (name demo_ok))
+  > EOF
+  $ cat > clean/lib/ok/tidy.ml <<'EOF'
+  > let double x = 2 * x
+  > EOF
+  $ cat > clean/lib/ok/tidy.mli <<'EOF'
+  > val double : int -> int
+  > EOF
+  $ geacc_lint clean
+  geacc_lint: clean

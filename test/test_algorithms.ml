@@ -222,6 +222,23 @@ let test_solver_run_dispatch () =
   Alcotest.(check bool) "exactness flags" true
     (Solver.is_exact Solver.Prune && not (Solver.is_exact Solver.Greedy))
 
+(* -- audit-instrumented runs -- *)
+
+let test_all_solvers_under_audit () =
+  (* Every solver once with the audit layer live, so the mcf/greedy/exact
+     hook points run against healthy instances (zero violations expected).
+     [GEACC_AUDIT=1 dune runtest] additionally flips the gate for every
+     other test in the binary. *)
+  let t = Synthetic.generate ~seed:11 small_cfg in
+  Geacc_check.Audit.with_enabled true (fun () ->
+      List.iter
+        (fun a ->
+          let m = Solver.run a t in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s feasible under audit" (Solver.name a))
+            true (feasible m))
+        Solver.all)
+
 let suite =
   [
     Alcotest.test_case "greedy feasible and maximal" `Quick
@@ -254,4 +271,6 @@ let suite =
     Alcotest.test_case "solver name roundtrip" `Quick
       test_solver_names_roundtrip;
     Alcotest.test_case "solver dispatch" `Quick test_solver_run_dispatch;
+    Alcotest.test_case "all solvers under audit" `Quick
+      test_all_solvers_under_audit;
   ]

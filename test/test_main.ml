@@ -11,6 +11,7 @@ let () =
       ("backends", Test_backends.suite);
       ("core-model", Test_core_model.suite);
       ("algorithms", Test_algorithms.suite);
+      ("audit", Test_audit.suite);
       ("paper-example", Test_paper_example.suite);
       ("properties", Test_properties.suite);
       ("extensions", Test_extensions.suite);

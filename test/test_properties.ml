@@ -145,7 +145,7 @@ let prop_maxsum_counts_positive_sims =
         [ Solver.Greedy; Solver.Min_cost_flow; Solver.Prune ])
 
 let suite =
-  List.map QCheck_alcotest.to_alcotest
+  List.map (fun cell -> QCheck_alcotest.to_alcotest cell)
     [
       prop_all_solvers_feasible;
       prop_greedy_ratio;

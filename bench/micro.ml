@@ -43,6 +43,49 @@ let heap_test =
            ignore (Geacc_pqueue.Binary_heap.pop_exn h)
          done))
 
+let float_heap_test =
+  Test.make ~name:"float-int-heap push/drop 1k"
+    (Staged.stage (fun () ->
+         let h = Geacc_pqueue.Float_int_heap.create () in
+         for i = 0 to 999 do
+           Geacc_pqueue.Float_int_heap.push h
+             (float_of_int ((i * 7919) mod 1000))
+             i
+         done;
+         let acc = ref 0 in
+         while not (Geacc_pqueue.Float_int_heap.is_empty h) do
+           acc := !acc + Geacc_pqueue.Float_int_heap.min_payload h;
+           Geacc_pqueue.Float_int_heap.drop_min h
+         done;
+         ignore !acc))
+
+(* Dijkstra over a ring-with-chords residual network: every node has a few
+   outgoing arcs, so the run exercises the heap, the arc walk and the
+   reduced-cost arithmetic — the exact inner loop of the min-cost-flow
+   solver. *)
+let dijkstra_graph =
+  lazy
+    (let n = 1000 in
+     let g = Geacc_flow.Graph.create ~num_nodes:n in
+     for v = 0 to n - 1 do
+       let add d cost =
+         ignore
+           (Geacc_flow.Graph.add_arc g ~src:v ~dst:((v + d) mod n) ~capacity:2
+              ~cost)
+       in
+       add 1 1.0;
+       add 7 (3.0 +. float_of_int (v mod 5));
+       add 131 (10.0 +. float_of_int (v mod 11))
+     done;
+     g)
+
+let dijkstra_test =
+  Test.make ~name:"dijkstra (1k nodes, 3k arcs)"
+    (Staged.stage (fun () ->
+         let g = Lazy.force dijkstra_graph in
+         ignore
+           (Geacc_flow.Shortest_path.dijkstra g ~source:0 ~stop_at:(500) ())))
+
 let kd_test =
   let points =
     Array.init 2000 (fun i ->
@@ -66,6 +109,8 @@ let tests =
       solver_test "Random-V (20x100)" Solver.Random_v small_instance;
       solver_test "Prune-GEACC (5x12)" Solver.Prune tiny_instance;
       heap_test;
+      float_heap_test;
+      dijkstra_test;
       kd_test;
     ]
 

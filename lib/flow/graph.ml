@@ -62,25 +62,25 @@ let add_arc t ~src ~dst ~capacity ~cost =
   let (_ : int) = add_half t ~src:dst ~dst:src ~capacity:0 ~cost:(-.cost) in
   a
 
-let partner a = a lxor 1
+let[@inline] partner a = a lxor 1
 
-let check_arc t a =
+let[@inline] check_arc t a =
   assert (a >= 0 && a < t.count)
 
-let dst t a =
+let[@inline] dst t a =
   check_arc t a;
   t.dst_.(a)
 
-let src t a =
+let[@inline] src t a =
   check_arc t a;
   (* The source of an arc is the destination of its partner. *)
   t.dst_.(partner a)
 
-let cost t a =
+let[@inline] cost t a =
   check_arc t a;
   t.cost_.(a)
 
-let residual_capacity t a =
+let[@inline] residual_capacity t a =
   check_arc t a;
   t.cap_.(a)
 
@@ -97,11 +97,22 @@ let flow t a =
   if a land 1 <> 0 then invalid_arg "Graph.flow: residual arc";
   t.initial_cap.(a) - t.cap_.(a)
 
-let push t a k =
+let[@inline] push t a k =
   check_arc t a;
   assert (0 <= k && k <= t.cap_.(a));
   t.cap_.(a) <- t.cap_.(a) - k;
   t.cap_.(partner a) <- t.cap_.(partner a) + k
+
+(* Closure-free adjacency walk for the hot paths: callers keep one cursor
+   in a pre-hoisted ref and step it with [next_out_arc] until -1, instead of
+   allocating an [iter_out_arcs] callback per relaxation round. *)
+let[@inline] first_out_arc t n =
+  assert (n >= 0 && n < t.num_nodes);
+  t.head.(n)
+
+let[@inline] next_out_arc t a =
+  check_arc t a;
+  t.next.(a)
 
 let iter_out_arcs t n f =
   assert (n >= 0 && n < t.num_nodes);

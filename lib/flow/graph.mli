@@ -51,6 +51,15 @@ val iter_out_arcs : t -> int -> (arc -> unit) -> unit
 (** Iterates all arc ids leaving a node (forward and residual alike);
     callers filter by {!residual_capacity}. *)
 
+val first_out_arc : t -> int -> arc
+(** First arc leaving a node, or -1 if it has none. With {!next_out_arc}
+    this is the closure-free counterpart of {!iter_out_arcs} for hot loops:
+    [let a = ref (first_out_arc g u) in while !a >= 0 do ... a :=
+    next_out_arc g !a done]. *)
+
+val next_out_arc : t -> arc -> arc
+(** Next arc leaving the same node as [a], or -1 at the end of the list. *)
+
 val fold_forward_arcs : t -> init:'a -> f:('a -> arc -> 'a) -> 'a
 (** Folds over the user-created (even) arcs in insertion order. *)
 

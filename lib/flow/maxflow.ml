@@ -4,36 +4,45 @@ let solve g ~source ~sink =
   let parent_arc = Array.make n (-1) in
   let visited = Array.make n false in
   let queue = Queue.create () in
+  (* Scratch refs shared across rounds, hoisted out of every loop. *)
+  let found = ref false in
+  let arc = ref (-1) in
+  let bottleneck = ref max_int in
+  let v = ref sink in
   let find_path () =
     Array.fill visited 0 n false;
     Array.fill parent_arc 0 n (-1);
     Queue.clear queue;
     visited.(source) <- true;
     Queue.add source queue;
-    let found = ref false in
+    found := false;
     while (not !found) && not (Queue.is_empty queue) do
       let u = Queue.pop queue in
-      Graph.iter_out_arcs g u (fun a ->
-          let v = Graph.dst g a in
-          if (not visited.(v)) && Graph.residual_capacity g a > 0 then begin
-            visited.(v) <- true;
-            parent_arc.(v) <- a;
-            if v = sink then found := true else Queue.add v queue
-          end)
+      arc := Graph.first_out_arc g u;
+      while !arc >= 0 do
+        let a = !arc in
+        let w = Graph.dst g a in
+        if (not visited.(w)) && Graph.residual_capacity g a > 0 then begin
+          visited.(w) <- true;
+          parent_arc.(w) <- a;
+          if w = sink then found := true else Queue.add w queue
+        end;
+        arc := Graph.next_out_arc g a
+      done
     done;
     !found
   in
   let total = ref 0 in
   while find_path () do
-    let bottleneck = ref max_int in
-    let v = ref sink in
+    bottleneck := max_int;
+    v := sink;
     while !v <> source do
       let a = parent_arc.(!v) in
       let r = Graph.residual_capacity g a in
       if r < !bottleneck then bottleneck := r;
       v := Graph.src g a
     done;
-    let v = ref sink in
+    v := sink;
     while !v <> source do
       let a = parent_arc.(!v) in
       Graph.push g a !bottleneck;

@@ -29,6 +29,9 @@ let solve g ~source ~sink ?target_flow ?(should_augment = fun ~path_cost:_ -> tr
     match target_flow with None -> true | Some t -> !total_flow < t
   in
   let continue = ref true in
+  (* Scratch refs for the augmentation walks, hoisted out of the loop. *)
+  let bottleneck = ref max_int in
+  let v = ref sink in
   while !continue && want_more () do
     let { Shortest_path.dist; parent_arc } =
       Shortest_path.dijkstra g ~source ~potential:pi ~stop_at:sink ()
@@ -42,13 +45,14 @@ let solve g ~source ~sink ?target_flow ?(should_augment = fun ~path_cost:_ -> tr
       (* Keep reduced costs non-negative for the next round: cap distance
          contributions at the sink's distance. *)
       let cap = dist.(sink) in
-      Array.iteri
-        (fun v d -> pi.(v) <- pi.(v) +. Float.min d cap)
-        dist;
+      for u = 0 to Array.length dist - 1 do
+        let d = dist.(u) in
+        pi.(u) <- pi.(u) +. (if d < cap then d else cap)
+      done;
       audit_after_dijkstra ~potential:pi;
       (* Bottleneck along the shortest path. *)
-      let bottleneck = ref max_int in
-      let v = ref sink in
+      bottleneck := max_int;
+      v := sink;
       while !v <> source do
         let a = parent_arc.(!v) in
         assert (a >= 0);
@@ -59,10 +63,10 @@ let solve g ~source ~sink ?target_flow ?(should_augment = fun ~path_cost:_ -> tr
       let units =
         match target_flow with
         | None -> !bottleneck
-        | Some t -> Stdlib.min !bottleneck (t - !total_flow)
+        | Some t -> Int.min !bottleneck (t - !total_flow)
       in
       assert (units > 0);
-      let v = ref sink in
+      v := sink;
       while !v <> source do
         let a = parent_arc.(!v) in
         Graph.push g a units;

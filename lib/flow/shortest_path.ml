@@ -7,43 +7,53 @@ let dijkstra g ~source ?potential ?stop_at () =
   let dist = Array.make n infinity in
   let parent_arc = Array.make n (-1) in
   let settled = Array.make n false in
-  let reduced_cost =
-    match potential with
-    | None -> fun a -> Graph.cost g a
-    | Some pi ->
-        fun a -> Graph.cost g a +. pi.(Graph.src g a) -. pi.(Graph.dst g a)
+  (* Specialised inner loop: the potential is always consulted as a plain
+     array (all zeros when absent) and the reduced cost is computed inline,
+     so each relaxation is three array reads and two float ops — no
+     per-node callback closure, no boxed intermediate. *)
+  let pi =
+    match potential with Some pi -> pi | None -> Array.make n 0.
   in
+  let stop = match stop_at with Some s -> s | None -> -1 in
   let heap = Heap.create () in
   dist.(source) <- 0.;
   Heap.push heap 0. source;
   let finished = ref false in
+  let arc = ref (-1) in
   while not !finished do
-    match Heap.pop heap with
-    | None -> finished := true
-    | Some (d, u) ->
-        if not settled.(u) then begin
-          settled.(u) <- true;
-          assert (Float.equal d dist.(u));
-          if (match stop_at with Some s -> Int.equal s u | None -> false)
-          then finished := true
-          else
-            Graph.iter_out_arcs g u (fun a ->
-                if Graph.residual_capacity g a > 0 then begin
-                  let v = Graph.dst g a in
-                  if not settled.(v) then begin
-                    let rc = reduced_cost a in
-                    (* Reduced costs must be non-negative; tolerate tiny
-                       floating-point slack from potential updates. *)
-                    let rc = if rc < 0. then (assert (rc > -1e-9); 0.) else rc in
-                    let nd = d +. rc in
-                    if nd < dist.(v) then begin
-                      dist.(v) <- nd;
-                      parent_arc.(v) <- a;
-                      Heap.push heap nd v
-                    end
-                  end
-                end)
+    if Heap.is_empty heap then finished := true
+    else begin
+      let d = Heap.min_key heap in
+      let u = Heap.min_payload heap in
+      Heap.drop_min heap;
+      if not settled.(u) then begin
+        settled.(u) <- true;
+        assert (d = dist.(u));
+        if u = stop then finished := true
+        else begin
+          arc := Graph.first_out_arc g u;
+          while !arc >= 0 do
+            let a = !arc in
+            if Graph.residual_capacity g a > 0 then begin
+              let v = Graph.dst g a in
+              if not settled.(v) then begin
+                let rc = Graph.cost g a +. pi.(u) -. pi.(v) in
+                (* Reduced costs must be non-negative; tolerate tiny
+                   floating-point slack from potential updates. *)
+                let rc = if rc < 0. then (assert (rc > -1e-9); 0.) else rc in
+                let nd = d +. rc in
+                if nd < dist.(v) then begin
+                  dist.(v) <- nd;
+                  parent_arc.(v) <- a;
+                  Heap.push heap nd v
+                end
+              end
+            end;
+            arc := Graph.next_out_arc g a
+          done
         end
+      end
+    end
   done;
   { dist; parent_arc }
 
@@ -54,21 +64,27 @@ let bellman_ford g ~source =
   dist.(source) <- 0.;
   let changed = ref true in
   let rounds = ref 0 in
+  let arc = ref (-1) in
   while !changed && !rounds < n do
     changed := false;
     incr rounds;
     for u = 0 to n - 1 do
-      if dist.(u) < infinity then
-        Graph.iter_out_arcs g u (fun a ->
-            if Graph.residual_capacity g a > 0 then begin
-              let v = Graph.dst g a in
-              let nd = dist.(u) +. Graph.cost g a in
-              if nd < dist.(v) -. 1e-12 then begin
-                dist.(v) <- nd;
-                parent_arc.(v) <- a;
-                changed := true
-              end
-            end)
+      if dist.(u) < infinity then begin
+        arc := Graph.first_out_arc g u;
+        while !arc >= 0 do
+          let a = !arc in
+          if Graph.residual_capacity g a > 0 then begin
+            let v = Graph.dst g a in
+            let nd = dist.(u) +. Graph.cost g a in
+            if nd < dist.(v) -. 1e-12 then begin
+              dist.(v) <- nd;
+              parent_arc.(v) <- a;
+              changed := true
+            end
+          end;
+          arc := Graph.next_out_arc g a
+        done
+      end
     done
   done;
   if !changed then None (* still relaxing after n rounds: negative cycle *)

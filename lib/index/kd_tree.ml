@@ -25,10 +25,11 @@ let rec build_node points leaf_size idxs =
   let d = Array.length points.(idxs.(0)) in
   let lo = Array.make d 0. and hi = Array.make d 0. in
   Point.bounding_box points idxs ~lo ~hi;
+  (* Construction phase: one node per subtree is the point. alloc: ok *)
   if Array.length idxs <= leaf_size then { lo; hi; kind = Leaf idxs }
   else begin
     let dim = widest_dimension lo hi in
-    Array.sort
+    Array.sort (* construction phase — alloc: ok *)
       (fun i j ->
         let c = Float.compare points.(i).(dim) points.(j).(dim) in
         if c <> 0 then c else Int.compare i j)
@@ -39,6 +40,7 @@ let rec build_node points leaf_size idxs =
       build_node points leaf_size
         (Array.sub idxs mid (Array.length idxs - mid))
     in
+    (* Construction phase: one node per subtree is the point. alloc: ok *)
     { lo; hi; kind = Inner (left, right) }
   end
 
@@ -83,7 +85,7 @@ type cursor = {
   mutable work : int;  (* frontier operations: a proxy for search effort *)
 }
 
-let push_node c node =
+let[@inline] push_node c node =
   let key = Point.min_dist2_to_box c.query ~lo:node.lo ~hi:node.hi in
   c.work <- c.work + 1;
   if key < c.max_dist2 then Heap.push c.frontier { key; payload = Node node }
@@ -113,6 +115,7 @@ let rec next c =
         match payload with
         | Pt i ->
             c.yielded <- c.yielded + 1;
+            (* The yielded (index, distance) pair is the API. alloc: ok *)
             Some (i, sqrt key)
         | Node { kind = Inner (l, r); _ } ->
             push_node c l;
@@ -120,10 +123,10 @@ let rec next c =
             next c
         | Node { kind = Leaf idxs; _ } ->
             c.work <- c.work + Array.length idxs;
-            Array.iter
+            Array.iter (* captures the cursor — alloc: ok *)
               (fun i ->
                 let d2 = Point.dist2 c.query c.tree.points.(i) in
-                if d2 < c.max_dist2 then
+                if d2 < c.max_dist2 then (* frontier entry — alloc: ok *)
                   Heap.push c.frontier { key = d2; payload = Pt i })
               idxs;
             next c
@@ -137,6 +140,7 @@ let nearest t q ~k =
   let c = cursor t q () in
   let rec take acc n =
     if n = 0 then List.rev acc
+    (* Materialising the k results is the point. alloc: ok *)
     else match next c with None -> List.rev acc | Some x -> take (x :: acc) (n - 1)
   in
   Array.of_list (take [] k)

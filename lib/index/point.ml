@@ -2,7 +2,7 @@ type t = float array
 
 let dim = Array.length
 
-let dist2 a b =
+let[@inline] dist2 a b =
   assert (Array.length a = Array.length b);
   let acc = ref 0. in
   for i = 0 to Array.length a - 1 do

@@ -6,10 +6,10 @@ type 'a t = {
 
 let create ~cmp () = { cmp; data = [||]; size = 0 }
 
-let length t = t.size
-let is_empty t = t.size = 0
+let[@inline] length t = t.size
+let[@inline] is_empty t = t.size = 0
 
-let swap t i j =
+let[@inline] swap t i j =
   let tmp = t.data.(i) in
   t.data.(i) <- t.data.(j);
   t.data.(j) <- tmp
@@ -25,12 +25,14 @@ let rec sift_up t i =
 
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
-  if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
+  let smallest = if l < t.size && t.cmp t.data.(l) t.data.(i) < 0 then l else i in
+  let smallest =
+    if r < t.size && t.cmp t.data.(r) t.data.(smallest) < 0 then r
+    else smallest
+  in
+  if smallest <> i then begin
+    swap t i smallest;
+    sift_down t smallest
   end
 
 let grow t x =
@@ -41,7 +43,7 @@ let grow t x =
     t.data <- fresh
   end
 
-let push t x =
+let[@inline] push t x =
   grow t x;
   t.data.(t.size) <- x;
   t.size <- t.size + 1;
@@ -70,13 +72,14 @@ let pop_exn t =
   end;
   top
 
-let pop t = if t.size = 0 then None else Some (pop_exn t)
+let[@inline] pop t = if t.size = 0 then None else Some (pop_exn t)
 
 let clear t =
   t.data <- [||];
   t.size <- 0
 
 let pop_all_sorted t =
+  (* Materialising the result list is this function's purpose. alloc: ok *)
   let rec drain acc = if is_empty t then List.rev acc else drain (pop_exn t :: acc) in
   drain []
 

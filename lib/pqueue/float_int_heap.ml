@@ -6,8 +6,8 @@ type t = {
 
 let create () = { keys = [||]; payloads = [||]; size = 0 }
 
-let length t = t.size
-let is_empty t = t.size = 0
+let[@inline] length t = t.size
+let[@inline] is_empty t = t.size = 0
 
 let grow t =
   let capacity = Array.length t.keys in
@@ -38,35 +38,48 @@ let push t key payload =
   t.keys.(!i) <- key;
   t.payloads.(!i) <- payload
 
+(* Unboxed access to the minimum: [min_key]/[min_payload]/[drop_min] let a
+   hot loop pop without materialising the [Some (key, payload)] pair that
+   [pop] returns. *)
+
+let[@inline] min_key t =
+  if t.size = 0 then invalid_arg "Float_int_heap.min_key: empty heap";
+  t.keys.(0)
+
+let[@inline] min_payload t =
+  if t.size = 0 then invalid_arg "Float_int_heap.min_payload: empty heap";
+  t.payloads.(0)
+
+let drop_min t =
+  if t.size = 0 then invalid_arg "Float_int_heap.drop_min: empty heap";
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    (* Sift the former last element down from the root with a hole. *)
+    let key = t.keys.(t.size) and payload = t.payloads.(t.size) in
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let at = !i in
+      let l = (2 * at) + 1 and r = (2 * at) + 2 in
+      (* Smaller child if both exist, else the left one; every comparison
+         reads the arrays directly so no float is ever bound (and boxed). *)
+      let c = if r < t.size && t.keys.(r) < t.keys.(l) then r else l in
+      if c < t.size && t.keys.(c) < key then begin
+        t.keys.(at) <- t.keys.(c);
+        t.payloads.(at) <- t.payloads.(c);
+        i := c
+      end
+      else continue := false
+    done;
+    t.keys.(!i) <- key;
+    t.payloads.(!i) <- payload
+  end
+
 let pop t =
   if t.size = 0 then None
   else begin
     let top_key = t.keys.(0) and top_payload = t.payloads.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      (* Sift the former last element down from the root with a hole. *)
-      let key = t.keys.(t.size) and payload = t.payloads.(t.size) in
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        let skey = ref key in
-        if l < t.size && t.keys.(l) < !skey then begin
-          smallest := l;
-          skey := t.keys.(l)
-        end;
-        if r < t.size && t.keys.(r) < !skey then smallest := r;
-        if !smallest = !i then continue := false
-        else begin
-          t.keys.(!i) <- t.keys.(!smallest);
-          t.payloads.(!i) <- t.payloads.(!smallest);
-          i := !smallest
-        end
-      done;
-      t.keys.(!i) <- key;
-      t.payloads.(!i) <- payload
-    end;
+    drop_min t;
     Some (top_key, top_payload)
   end
 

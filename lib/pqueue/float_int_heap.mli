@@ -14,7 +14,19 @@ val is_empty : t -> bool
 val push : t -> float -> int -> unit
 
 val pop : t -> (float * int) option
-(** Minimum-key entry. *)
+(** Minimum-key entry. Allocates the pair; hot loops should use the unboxed
+    triple {!min_key} / {!min_payload} / {!drop_min} instead. *)
+
+val min_key : t -> float
+(** Key of the minimum entry. Raises [Invalid_argument] on an empty heap. *)
+
+val min_payload : t -> int
+(** Payload of the minimum entry. Raises [Invalid_argument] on an empty
+    heap. *)
+
+val drop_min : t -> unit
+(** Removes the minimum entry without returning it. Raises
+    [Invalid_argument] on an empty heap. *)
 
 val clear : t -> unit
 (** Empties without releasing storage (cheap reuse across Dijkstra runs). *)

@@ -7,7 +7,7 @@ let empty ~cmp = { cmp; root = Leaf; size = 0 }
 let is_empty t = t.size = 0
 let length t = t.size
 
-let meld cmp a b =
+let[@inline] meld cmp a b =
   match (a, b) with
   | Leaf, n | n, Leaf -> n
   | Node (x, xs), Node (y, ys) ->
@@ -27,12 +27,13 @@ let peek t = match t.root with Leaf -> None | Node (x, _) -> Some x
 let merge_pairs cmp children =
   let rec pair acc = function
     | [] -> acc
+    (* The pairing pass is persistent by design. alloc: ok *)
     | [ x ] -> x :: acc
-    | x :: y :: rest -> pair (meld cmp x y :: acc) rest
+    | x :: y :: rest -> pair (meld cmp x y :: acc) rest (* alloc: ok *)
   in
   List.fold_left (meld cmp) Leaf (pair [] children)
 
-let pop t =
+let[@inline] pop t =
   match t.root with
   | Leaf -> None
   | Node (x, children) ->
@@ -53,7 +54,7 @@ let check_invariant t =
     | Leaf :: rest -> stack := rest
     | Node (x, children) :: rest ->
         incr nodes;
-        List.iter
+        List.iter (* audit-only traversal, not a hot path — alloc: ok *)
           (fun child ->
             match child with
             | Leaf -> ordered := false (* Leaf is never a stored child *)
@@ -65,6 +66,7 @@ let check_invariant t =
 
 let to_sorted_list t =
   let rec drain acc t =
+    (* Materialising the result list is this function's purpose. alloc: ok *)
     match pop t with None -> List.rev acc | Some (x, t') -> drain (x :: acc) t'
   in
   drain [] t

@@ -1,0 +1,134 @@
+geacc_analyze over .cmt fixtures compiled directly with ocamlc -bin-annot.
+The trees mimic the repo layout: the hot-loop rules fire only for files
+under lib/flow, lib/pqueue and lib/index/kd_tree; unsafe_* reachability is
+checked for everything under lib/ and bin/ except lib/check.
+
+A hot module allocating per iteration: a ref cell and a callback closure in
+a while body, a boxed float let-bound in a let rec body, and two small
+un-annotated helpers called from the loops:
+
+  $ mkdir -p proj/lib/flow
+  $ cat > proj/lib/flow/bad.ml <<'EOF'
+  > let scale x = 2.0 *. x
+  > let consume f = f ()
+  > let run xs =
+  >   let i = ref 0 in
+  >   while !i < Array.length xs do
+  >     let seen = ref false in
+  >     consume (fun () -> if not !seen then seen := true);
+  >     incr i
+  >   done;
+  >   let rec go j acc =
+  >     if j >= Array.length xs then acc
+  >     else
+  >       let d = scale xs.(j) in
+  >       go (j + 1) (acc +. d)
+  >   in
+  >   go 0 0.
+  > EOF
+  $ ocamlc -bin-annot -c proj/lib/flow/bad.ml
+  $ geacc_analyze proj
+  proj/lib/flow/bad.ml:1:0: [missing-inline] Bad.scale (1 lines) is called from a hot loop at proj/lib/flow/bad.ml:13 but carries no [@inline]; add [@inline] (and [@unboxed] on any single-field wrapper it involves)
+  proj/lib/flow/bad.ml:2:0: [missing-inline] Bad.consume (1 lines) is called from a hot loop at proj/lib/flow/bad.ml:7 but carries no [@inline]; add [@inline] (and [@unboxed] on any single-field wrapper it involves)
+  proj/lib/flow/bad.ml:6:15: [hot-loop-alloc] a ref cell is allocated on every iteration of this hot loop; hoist the ref out of the loop
+  proj/lib/flow/bad.ml:7:12: [hot-loop-alloc] a closure is allocated on every iteration of this hot loop; hoist it out of the loop or iterate without a callback
+  proj/lib/flow/bad.ml:13:6: [hot-loop-alloc] the float returned by scale is boxed when let-bound in a hot loop; mark the callee [@inline], inline the computation, or tag (* alloc: ok *)
+  [1]
+
+The same allocations outside the hot-path modules are not flagged (the
+module is under lib/, but not lib/flow, lib/pqueue or lib/index/kd_tree):
+
+  $ mkdir -p proj/lib/model
+  $ cp proj/lib/flow/bad.ml proj/lib/model/mild.ml
+  $ ocamlc -bin-annot -c proj/lib/model/mild.ml
+  $ geacc_analyze proj/lib/model
+  geacc_analyze: clean
+
+Cross-module unsafe_* reachability: library code reaching Matching's
+unsafe mutator fails at the call site; the same call from lib/check (the
+audit layer) is trusted:
+
+  $ mkdir -p proj2/lib/core proj2/lib/flow proj2/lib/check
+  $ cat > proj2/lib/core/matching.ml <<'EOF'
+  > let slots = Array.make 4 0
+  > let unsafe_add i = slots.(i) <- slots.(i) + 1
+  > EOF
+  $ cat > proj2/lib/flow/uses.ml <<'EOF'
+  > let bump () = Matching.unsafe_add 0
+  > EOF
+  $ cat > proj2/lib/check/audit.ml <<'EOF'
+  > let probe () = Matching.unsafe_add 1
+  > EOF
+  $ ocamlc -bin-annot -c proj2/lib/core/matching.ml
+  $ ocamlc -bin-annot -c -I proj2/lib/core proj2/lib/flow/uses.ml
+  $ ocamlc -bin-annot -c -I proj2/lib/core proj2/lib/check/audit.ml
+  $ geacc_analyze proj2
+  proj2/lib/flow/uses.ml:1:14: [unsafe-reachable] Matching.unsafe_add is reachable from Uses.bump, outside lib/check; only the audit layer may use unsafe APIs
+  [1]
+
+Removing the library-side caller leaves only the trusted audit use:
+
+  $ rm proj2/lib/flow/uses.cmt
+  $ geacc_analyze proj2
+  geacc_analyze: clean
+
+An (* alloc: ok *) tag on the offending line or the line above suppresses
+the diagnostic:
+
+  $ mkdir -p proj3/lib/pqueue
+  $ cat > proj3/lib/pqueue/tagged.ml <<'EOF'
+  > let run n =
+  >   let acc = ref 0 in
+  >   for i = 0 to n do
+  >     (* per-iteration scratch, measured harmless — alloc: ok *)
+  >     let cell = ref i in
+  >     let cell2 = ref i in (* alloc: ok *)
+  >     acc := !acc + !cell + !cell2
+  >   done;
+  >   !acc
+  > EOF
+  $ ocamlc -bin-annot -c proj3/lib/pqueue/tagged.ml
+  $ geacc_analyze proj3
+  geacc_analyze: clean
+
+The two stages share the tag grammar but not the tag: "lint: ok" means
+nothing to the allocation rules, so the diagnostic survives:
+
+  $ mkdir -p proj4/lib/pqueue
+  $ cat > proj4/lib/pqueue/wrong_tag.ml <<'EOF'
+  > let run n =
+  >   let acc = ref 0 in
+  >   for i = 0 to n do
+  >     let cell = ref i in (* lint: ok *)
+  >     acc := !acc + !cell
+  >   done;
+  >   !acc
+  > EOF
+  $ ocamlc -bin-annot -c proj4/lib/pqueue/wrong_tag.ml
+  $ geacc_analyze proj4
+  proj4/lib/pqueue/wrong_tag.ml:4:15: [hot-loop-alloc] a ref cell is allocated on every iteration of this hot loop; hoist the ref out of the loop
+  [1]
+
+--format json emits the same diagnostics as a machine-readable array:
+
+  $ geacc_analyze --format json proj4
+  [
+    {"file": "proj4/lib/pqueue/wrong_tag.ml", "line": 4, "col": 15, "rule": "hot-loop-alloc", "message": "a ref cell is allocated on every iteration of this hot loop; hoist the ref out of the loop"}
+  ]
+  [1]
+
+A hot module whose loops keep all state in pre-allocated arrays and
+hoisted refs is clean:
+
+  $ mkdir -p proj5/lib/flow
+  $ cat > proj5/lib/flow/tidy.ml <<'EOF'
+  > let sum xs =
+  >   let acc = ref 0.0 in
+  >   for i = 0 to Array.length xs - 1 do
+  >     acc := !acc +. xs.(i)
+  >   done;
+  >   !acc
+  > EOF
+  $ ocamlc -bin-annot -c proj5/lib/flow/tidy.ml
+  $ geacc_analyze proj5
+  geacc_analyze: clean

@@ -56,6 +56,43 @@ Run the linter; every finding carries a file:line:col span and a rule id:
   proj/lib/flow/dune:3:0: [dune-unused-dep] library unix is declared but module Unix is never referenced by this stanza
   [1]
 
+The suppression tag must sit on the offending line or the line directly
+above it — two lines up is out of range, and the tag is exact ("lint: ok",
+not any comment):
+
+  $ mkdir -p span/lib/ok
+  $ cat > span/lib/ok/dune <<'EOF'
+  > (library
+  >  (name demo_span))
+  > EOF
+  $ cat > span/lib/ok/span.ml <<'EOF'
+  > (* lint: ok *)
+  > let above_is_fine () = failwith "a"
+  > (* lint: ok *)
+  > (* too far away *)
+  > let two_lines_up () = failwith "b"
+  > (* some unrelated comment *)
+  > let untagged () = failwith "c"
+  > EOF
+  $ cat > span/lib/ok/span.mli <<'EOF'
+  > val above_is_fine : unit -> 'a
+  > val two_lines_up : unit -> 'a
+  > val untagged : unit -> 'a
+  > EOF
+  $ geacc_lint span
+  span/lib/ok/span.ml:5:22: [partial-raise] failwith in library code; return a result or tag the line with (* lint: ok *)
+  span/lib/ok/span.ml:7:18: [partial-raise] failwith in library code; return a result or tag the line with (* lint: ok *)
+  [1]
+
+--format json emits the same diagnostics as a machine-readable array:
+
+  $ geacc_lint --format json span
+  [
+    {"file": "span/lib/ok/span.ml", "line": 5, "col": 22, "rule": "partial-raise", "message": "failwith in library code; return a result or tag the line with (* lint: ok *)"},
+    {"file": "span/lib/ok/span.ml", "line": 7, "col": 18, "rule": "partial-raise", "message": "failwith in library code; return a result or tag the line with (* lint: ok *)"}
+  ]
+  [1]
+
 A clean tree exits 0:
 
   $ mkdir -p clean/lib/ok

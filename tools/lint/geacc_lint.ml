@@ -1,6 +1,8 @@
-(* geacc_lint — project linter over compiler-libs parse trees.
+(* geacc_lint — stage 1 of the project analyzer: compiler-libs parse trees.
+   Stage 2 (geacc_analyze) works on typedtrees; see that file and DESIGN.md
+   §7. Shared span/suppression/report plumbing lives in Lint_core.
 
-   Usage: geacc_lint DIR...
+   Usage: geacc_lint [--format text|json] DIR...
 
    Walks every directory given on the command line, parses each [.ml]/[.mli]
    with the compiler's own parser and each [dune] file with a minimal sexp
@@ -27,6 +29,7 @@
    broken trees. Exit status: 0 clean, 1 diagnostics reported, 2 usage. *)
 
 let hot_path_markers = [ "lib/flow/"; "lib/pqueue/"; "lib/index/" ]
+let suppression_tags = [ "lint" ]
 
 type rule =
   | Obj_magic
@@ -46,14 +49,6 @@ let rule_id = function
   | Dune_undeclared_dep -> "dune-undeclared-dep"
   | Parse_error -> "parse-error"
 
-type diagnostic = {
-  file : string;
-  line : int;
-  col : int;
-  rule : rule;
-  message : string;
-}
-
 module StringSet = Set.Make (String)
 
 (* ---------- file discovery ---------- *)
@@ -62,42 +57,10 @@ let skip_dir name =
   List.exists (String.equal name) [ "_build"; "fixtures" ]
   || (String.length name > 0 && name.[0] = '.')
 
-let rec walk dir acc =
-  let entries = Sys.readdir dir in
-  Array.sort String.compare entries;
-  Array.fold_left
-    (fun acc name ->
-      let path = Filename.concat dir name in
-      if Sys.is_directory path then if skip_dir name then acc else walk path acc
-      else path :: acc)
-    acc entries
+let is_hot_path path =
+  List.exists (Lint_core.contains_marker path) hot_path_markers
 
-let has_segment path seg =
-  List.exists (String.equal seg) (String.split_on_char '/' path)
-
-let contains_marker path marker =
-  (* Substring search is enough: markers are unambiguous path infixes. *)
-  let lp = String.length path and lm = String.length marker in
-  let rec at i = i + lm <= lp && (String.equal (String.sub path i lm) marker || at (i + 1)) in
-  at 0
-
-let is_hot_path path = List.exists (contains_marker path) hot_path_markers
-let is_lib_code path = has_segment path "lib"
-
-(* ---------- suppression tags ---------- *)
-
-let read_lines path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let content = really_input_string ic n in
-  close_in ic;
-  (content, Array.of_list (String.split_on_char '\n' content))
-
-let line_has_tag lines l =
-  l >= 1 && l <= Array.length lines
-  && contains_marker lines.(l - 1) "lint: ok"
-
-let suppressed lines l = line_has_tag lines l || line_has_tag lines (l - 1)
+let is_lib_code path = Lint_core.has_segment path "lib"
 
 (* ---------- AST scan ---------- *)
 
@@ -130,15 +93,16 @@ type scan_ctx = {
   sc_hot : bool;
   sc_lib : bool;
   mutable sc_refs : StringSet.t;
-  mutable sc_diags : diagnostic list;
+  mutable sc_diags : Lint_core.diagnostic list;
 }
 
 let report ctx (loc : Location.t) rule message =
   let p = loc.loc_start in
   let line = p.pos_lnum and col = p.pos_cnum - p.pos_bol in
-  if not (suppressed ctx.sc_lines line) then
+  if not (Lint_core.suppressed ~tags:suppression_tags ctx.sc_lines line) then
     ctx.sc_diags <-
-      { file = ctx.sc_file; line; col; rule; message } :: ctx.sc_diags
+      { Lint_core.file = ctx.sc_file; line; col; rule = rule_id rule; message }
+      :: ctx.sc_diags
 
 let record_ref ctx lid =
   let root = longident_root lid in
@@ -225,7 +189,7 @@ let scan_iterator ctx =
   }
 
 let scan_source path =
-  let content, lines = read_lines path in
+  let content, lines = Lint_core.read_lines path in
   let ctx =
     {
       sc_file = path;
@@ -251,7 +215,7 @@ let scan_source path =
        | _ -> (1, 0)
      in
      ctx.sc_diags <-
-       { file = path; line; col; rule = Parse_error;
+       { Lint_core.file = path; line; col; rule = rule_id Parse_error;
          message = "the compiler's parser rejects this file" }
        :: ctx.sc_diags);
   (ctx.sc_refs, ctx.sc_diags)
@@ -386,7 +350,7 @@ let find_field fields key =
     fields
 
 let stanzas_of_dune path =
-  let content, _ = read_lines path in
+  let content, _ = Lint_core.read_lines path in
   let dir = Filename.dirname path in
   List.filter_map
     (function
@@ -498,7 +462,8 @@ let check_stanza table files refs_of_file stanza =
     | None -> None
   in
   let diag line rule message =
-    { file = stanza.st_file; line; col = 0; rule; message }
+    { Lint_core.file = stanza.st_file; line; col = 0; rule = rule_id rule;
+      message }
   in
   let unused =
     List.filter_map
@@ -550,10 +515,10 @@ let check_missing_mli files =
       then
         Some
           {
-            file = f;
+            Lint_core.file = f;
             line = 1;
             col = 0;
-            rule = Missing_mli;
+            rule = rule_id Missing_mli;
             message =
               "library module without an interface; add a matching .mli";
           }
@@ -563,21 +528,8 @@ let check_missing_mli files =
 (* ---------- driver ---------- *)
 
 let () =
-  let roots =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as roots) -> roots
-    | _ ->
-        prerr_endline "usage: geacc_lint DIR...";
-        exit 2
-  in
-  List.iter
-    (fun r ->
-      if not (Sys.file_exists r && Sys.is_directory r) then begin
-        Printf.eprintf "geacc_lint: not a directory: %s\n" r;
-        exit 2
-      end)
-    roots;
-  let files = List.concat_map (fun r -> walk r []) roots in
+  let format, roots = Lint_core.parse_argv ~tool:"geacc_lint" Sys.argv in
+  let files = List.concat_map (fun r -> Lint_core.walk ~skip_dir r []) roots in
   let sources =
     List.filter
       (fun f -> Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli")
@@ -606,23 +558,4 @@ let () =
     List.concat_map (check_stanza table sources refs_of_file) stanzas
   in
   let diags = source_diags @ dune_diags @ check_missing_mli sources in
-  let diags =
-    List.sort
-      (fun a b ->
-        let c = String.compare a.file b.file in
-        if c <> 0 then c
-        else
-          let c = Int.compare a.line b.line in
-          if c <> 0 then c
-          else
-            let c = Int.compare a.col b.col in
-            if c <> 0 then c
-            else String.compare (rule_id a.rule) (rule_id b.rule))
-      diags
-  in
-  List.iter
-    (fun d ->
-      Printf.printf "%s:%d:%d: [%s] %s\n" d.file d.line d.col (rule_id d.rule)
-        d.message)
-    diags;
-  if diags = [] then print_endline "geacc_lint: clean" else exit 1
+  exit (Lint_core.emit ~format ~tool:"geacc_lint" diags)

@@ -100,6 +100,18 @@ let kd_test =
               (Array.init 8 (fun k -> float_of_int (100 * k)))
               ~k:10)))
 
+(* Budget polling overhead: the same solver run with a disarmed budget
+   (the default) and with an armed budget whose deadline is far away, so
+   every iteration pays the cooperative poll but the run never degrades.
+   Comparing against the plain variants above measures the robustness
+   layer's hot-loop tax (target: <= 2%, see EXPERIMENTS.md). *)
+let armed_solver_test name algorithm instance_lazy =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let instance = Lazy.force instance_lazy in
+         let deadline = Geacc_robust.Budget.create ~timeout_s:3600. () in
+         ignore (Solver.run ~deadline algorithm instance)))
+
 let tests =
   Test.make_grouped ~name:"geacc"
     [
@@ -108,6 +120,10 @@ let tests =
         small_instance;
       solver_test "Random-V (20x100)" Solver.Random_v small_instance;
       solver_test "Prune-GEACC (5x12)" Solver.Prune tiny_instance;
+      armed_solver_test "MinCostFlow-GEACC armed budget (20x100)"
+        Solver.Min_cost_flow small_instance;
+      armed_solver_test "Prune-GEACC armed budget (5x12)" Solver.Prune
+        tiny_instance;
       heap_test;
       float_heap_test;
       dijkstra_test;

@@ -1,11 +1,39 @@
 (* geacc: command-line front end for the GEACC library.
 
    Subcommands: generate (synthetic / meetup instances), solve, validate,
-   info. Exit codes: 0 success, 1 usage/parse error, 2 infeasible matching
-   (validate). *)
+   info. Exit codes: 0 success, 1 usage/parse/input error, 2 infeasible
+   matching (validate), 3 feasible-but-degraded result (solve under
+   --timeout/--fallback: a deadline, fault or fallback kept the run from
+   completing its preferred algorithm). *)
 
 open Cmdliner
 open Geacc_core
+module Robust = Geacc_robust
+
+let exit_degraded = 3
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "geacc: %s\n" msg;
+      exit 1)
+    fmt
+
+(* A malformed fault plan must not silently disable the faults a CI job
+   believes it is injecting. *)
+let check_fault_plan () =
+  match Robust.Fault.plan_error () with
+  | None -> ()
+  | Some e -> die "malformed GEACC_FAULTS: %s" e
+
+let load_instance_or_die ?backend path =
+  check_fault_plan ();
+  match Geacc_io.Instance_io.read_instance_result ~path with
+  | Error e -> die "%s" (Robust.Error.to_string e)
+  | Ok instance -> (
+      match backend with
+      | None -> instance
+      | Some b -> Instance.with_backend instance b)
 
 let setup_logs style_renderer level =
   Fmt_tty.setup_std_outputs ?style_renderer ();
@@ -163,6 +191,85 @@ let generate_cmd =
 
 (* -- solve ------------------------------------------------------------ *)
 
+let write_matching_opt out matching =
+  match out with
+  | None -> ()
+  | Some path ->
+      Geacc_io.Instance_io.write_pairs ~path (Matching.pairs matching);
+      Logs.app (fun f -> f "wrote matching to %s" path)
+
+(* The anytime path: run the fallback chain (or a single budgeted
+   algorithm), report status on stdout, telemetry on stderr, and map a
+   degraded-but-feasible result to a distinct exit code so schedulers can
+   tell "optimal" from "best effort by the deadline". *)
+let solve_anytime instance ~algorithm ~fallback ~timeout ~stage_timeout
+    ~max_retries ~out =
+  let algorithms =
+    if fallback then Anytime.default_chain else [ algorithm ]
+  in
+  match
+    Anytime.solve ?timeout_s:timeout ?stage_timeout_s:stage_timeout
+      ~max_retries ~algorithms instance
+  with
+  | Error e -> die "%s" (Robust.Error.to_string e)
+  | Ok r ->
+      let status_line =
+        match (r.Anytime.status, r.Anytime.reason) with
+        | Robust.Chain.Complete, _ -> "complete"
+        | Robust.Chain.Degraded, Some reason ->
+            Printf.sprintf "degraded (%s)" reason
+        | Robust.Chain.Degraded, None -> "degraded"
+      in
+      Printf.printf
+        "algorithm: %s\nMaxSum: %.6f\nmatched pairs: %d\nstatus: %s\ntime: %.3f ms\n"
+        (Solver.name r.Anytime.algorithm)
+        (Matching.maxsum r.Anytime.matching)
+        (Matching.size r.Anytime.matching)
+        status_line
+        (r.Anytime.elapsed_s *. 1000.);
+      Printf.eprintf
+        "anytime: status=%s stage=%s stages-tried=%d fallbacks=%d retries=%d \
+         faults=%d injected-faults=%d audit-violations=%d\n"
+        (match r.Anytime.status with
+        | Robust.Chain.Complete -> "complete"
+        | Robust.Chain.Degraded -> "degraded")
+        (Solver.short_name r.Anytime.algorithm)
+        r.Anytime.stages_tried r.Anytime.fallbacks r.Anytime.retries
+        r.Anytime.faults
+        (Robust.Fault.fires ())
+        (Geacc_check.Audit.violations ());
+      let table =
+        Geacc_util.Table.create ~title:"fallback chain trace"
+          ~headers:[ "stage"; "attempt"; "verdict"; "seconds" ]
+      in
+      List.iter
+        (fun (t : Robust.Chain.trace_entry) ->
+          Geacc_util.Table.add_row table
+            [
+              t.Robust.Chain.t_stage;
+              string_of_int t.Robust.Chain.t_attempt;
+              Format.asprintf "%a" Robust.Chain.pp_verdict
+                t.Robust.Chain.t_verdict;
+              Printf.sprintf "%.3f" t.Robust.Chain.t_seconds;
+            ])
+        r.Anytime.trace;
+      prerr_string (Geacc_util.Table.render table);
+      write_matching_opt out r.Anytime.matching;
+      flush stdout;
+      flush stderr;
+      match r.Anytime.status with
+      | Robust.Chain.Complete -> ()
+      | Robust.Chain.Degraded -> exit exit_degraded
+
+let solve_online_order instance ~order ~out =
+  match Online.solve ~order:(Array.of_list order) instance with
+  | Error e -> die "%s" (Robust.Error.to_string e)
+  | Ok matching ->
+      Printf.printf "algorithm: %s\nMaxSum: %.6f\nmatched pairs: %d\n"
+        (Solver.name Solver.Online)
+        (Matching.maxsum matching) (Matching.size matching);
+      write_matching_opt out matching
+
 let solve_cmd =
   let algorithm =
     Arg.(
@@ -179,33 +286,80 @@ let solve_cmd =
       & opt (some string) None
       & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the matching to FILE.")
   in
-  let run () instance_path algorithm out seed backend =
-    let instance = Geacc_io.Instance_io.read_instance ~path:instance_path in
-    let instance =
-      match backend with
-      | None -> instance
-      | Some b -> Instance.with_backend instance b
-    in
-    let m =
-      Geacc_bench.Harness.measure ~seed algorithm (fun () -> instance)
-    in
-    Printf.printf "algorithm: %s\nMaxSum: %.6f\nmatched pairs: %d\ntime: %.3f ms\nmemory: %.1f KB\n"
-      (Solver.name m.Geacc_bench.Harness.algorithm)
-      m.Geacc_bench.Harness.maxsum m.Geacc_bench.Harness.matched_pairs
-      (m.Geacc_bench.Harness.wall_s *. 1000.)
-      (float_of_int m.Geacc_bench.Harness.live_bytes /. 1024.);
-    match out with
-    | None -> ()
-    | Some path ->
-        let rng = Geacc_util.Rng.create ~seed in
-        let matching = Solver.run ~rng algorithm instance in
-        Geacc_io.Instance_io.write_pairs ~path (Matching.pairs matching);
-        Logs.app (fun f -> f "wrote matching to %s" path)
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "Overall time budget. The solvers become anytime: on expiry the \
+             best feasible matching found so far is returned, the result is \
+             marked degraded and the exit code is 3.")
+  in
+  let stage_timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "stage-timeout" ] ~docv:"SECS"
+          ~doc:"Additional per-stage cap within the overall $(b,--timeout).")
+  in
+  let fallback =
+    Arg.(
+      value & flag
+      & info [ "fallback" ]
+          ~doc:
+            "Run the quality-first fallback chain exhaustive -> prune -> \
+             mincostflow -> greedy instead of a single algorithm; the best \
+             candidate by MaxSum wins.")
+  in
+  let max_retries =
+    Arg.(
+      value & opt int 1
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:"Retries per stage for transient faults (with backoff).")
+  in
+  let order =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "order" ] ~docv:"IDS"
+          ~doc:
+            "Comma-separated user arrival order for $(b,-a online); must be \
+             a permutation of the user ids.")
+  in
+  let run () instance_path algorithm out seed backend timeout stage_timeout
+      fallback max_retries order =
+    let instance = load_instance_or_die ?backend instance_path in
+    match order with
+    | Some order ->
+        if algorithm <> Solver.Online then
+          die "--order only applies to --algorithm online";
+        solve_online_order instance ~order ~out
+    | None ->
+        if fallback || timeout <> None || stage_timeout <> None then
+          solve_anytime instance ~algorithm ~fallback ~timeout ~stage_timeout
+            ~max_retries ~out
+        else begin
+          let m =
+            Geacc_bench.Harness.measure ~seed algorithm (fun () -> instance)
+          in
+          Printf.printf
+            "algorithm: %s\nMaxSum: %.6f\nmatched pairs: %d\ntime: %.3f ms\nmemory: %.1f KB\n"
+            (Solver.name m.Geacc_bench.Harness.algorithm)
+            m.Geacc_bench.Harness.maxsum m.Geacc_bench.Harness.matched_pairs
+            (m.Geacc_bench.Harness.wall_s *. 1000.)
+            (float_of_int m.Geacc_bench.Harness.live_bytes /. 1024.);
+          match out with
+          | None -> ()
+          | Some _ ->
+              let rng = Geacc_util.Rng.create ~seed in
+              write_matching_opt out (Solver.run ~rng algorithm instance)
+        end
   in
   let term =
     Term.(
       const run $ logs_term $ instance_arg $ algorithm $ out $ seed_arg
-      $ index_arg)
+      $ index_arg $ timeout $ stage_timeout $ fallback $ max_retries $ order)
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve an instance and report MaxSum/time/memory.")
@@ -221,8 +375,18 @@ let validate_cmd =
       & info [ "matching"; "m" ] ~docv:"FILE" ~doc:"Path to a geacc-matching file.")
   in
   let run () instance_path matching_path =
-    let instance = Geacc_io.Instance_io.read_instance ~path:instance_path in
-    let pairs = Geacc_io.Instance_io.read_pairs ~path:matching_path in
+    let instance = load_instance_or_die instance_path in
+    let pairs =
+      try Geacc_io.Instance_io.read_pairs ~path:matching_path with
+      | Geacc_io.Instance_io.Parse_error { line; message } ->
+          die "%s"
+            (Robust.Error.to_string
+               (Robust.Error.Parse_error { line; message }))
+      | Sys_error message ->
+          die "%s"
+            (Robust.Error.to_string
+               (Robust.Error.Io_error { path = matching_path; message }))
+    in
     match Validate.check instance pairs with
     | [] ->
         let maxsum =
@@ -231,18 +395,16 @@ let validate_cmd =
             0. pairs
         in
         Printf.printf "feasible: %d pairs, MaxSum %.6f\n" (List.length pairs)
-          maxsum;
-        `Ok ()
+          maxsum
     | violations ->
         List.iter
           (fun v ->
             Format.eprintf "violation: %a@." Validate.pp_violation v)
           violations;
-        `Error (false, Printf.sprintf "%d violations" (List.length violations))
+        Printf.eprintf "geacc: %d violations\n" (List.length violations);
+        exit 2
   in
-  let term =
-    Term.(ret (const run $ logs_term $ instance_arg $ matching_arg))
-  in
+  let term = Term.(const run $ logs_term $ instance_arg $ matching_arg) in
   Cmd.v
     (Cmd.info "validate" ~doc:"Check a matching file against an instance.")
     term
@@ -251,7 +413,7 @@ let validate_cmd =
 
 let info_cmd =
   let run () instance_path =
-    let instance = Geacc_io.Instance_io.read_instance ~path:instance_path in
+    let instance = load_instance_or_die instance_path in
     Format.printf "%a@." Instance.pp_summary instance
   in
   let term = Term.(const run $ logs_term $ instance_arg) in

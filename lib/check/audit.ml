@@ -20,7 +20,14 @@ let with_enabled b f =
   state := b;
   Fun.protect ~finally:(fun () -> state := saved) f
 
-let fail ~site detail = raise (Violation { site; detail })
+let violation_count = ref 0
+
+let violations () = !violation_count
+
+let fail ~site detail =
+  incr violation_count;
+  raise (Violation { site; detail })
+
 let failf ~site fmt = Printf.ksprintf (fail ~site) fmt
 
 module Flow = struct

@@ -28,6 +28,12 @@ val with_enabled : bool -> (unit -> 'a) -> 'a
 (** Runs the thunk with the gate forced to the given value, restoring the
     previous state afterwards (exception-safe). *)
 
+val violations : unit -> int
+(** Process-lifetime count of {!Violation}s raised through {!fail}/{!failf}
+    (including ones later caught — e.g. by a fallback harness treating an
+    audit failure as a stage fault). Robustness telemetry reports it
+    alongside injected-fault counters. *)
+
 val fail : site:string -> string -> 'a
 (** Raises {!Violation}. *)
 

@@ -1,3 +1,5 @@
+module Budget = Geacc_robust.Budget
+
 type stats = {
   invocations : int;
   complete_searches : int;
@@ -5,6 +7,7 @@ type stats = {
   prune_depth_total : int;
   max_depth : int;
   exhausted_budget : bool;
+  timed_out : bool;
 }
 
 exception Budget_exhausted
@@ -25,6 +28,8 @@ type searcher = {
   mutable best_maxsum : float;
   pruning : bool;
   budget : int;
+  deadline : Budget.t;
+  mutable timed_out : bool;
   mutable invocations : int;
   mutable complete_searches : int;
   mutable prunes : int;
@@ -82,6 +87,13 @@ let complete s =
    pair to visit and applying the Lemma 6 bound before descending. *)
 let rec search s pos rank depth =
   if s.invocations >= s.budget then raise Budget_exhausted;
+  if Budget.check s.deadline then begin
+    (* The current/best matchings are only mutated through Matching's
+       feasibility-checked interface, so unwinding here leaves [s.best] a
+       consistent, feasible checkpoint. *)
+    s.timed_out <- true;
+    raise Budget_exhausted
+  end;
   s.invocations <- s.invocations + 1;
   record_depth s depth;
   let v = s.order.(pos) in
@@ -138,10 +150,16 @@ and next_event s pos depth =
     else record_prune s depth
   end
 
-let solve ?(pruning = true) ?warm_start ?(tighten = false) ?budget instance =
+let solve ?(pruning = true) ?warm_start ?(tighten = false) ?budget
+    ?(deadline = Budget.unlimited) instance =
   let warm_start = match warm_start with Some w -> w | None -> pruning in
   let order, suffix_bound = build_order instance in
-  let best = if warm_start then Greedy.solve instance else Matching.create instance in
+  (* The warm start honours the deadline too: if time is already short the
+     incumbent is whatever greedy prefix fits, which is still feasible. *)
+  let best =
+    if warm_start then fst (Greedy.solve_anytime ~deadline instance)
+    else Matching.create instance
+  in
   let n_users = Instance.n_users instance in
   let user_best =
     if tighten then Array.init n_users (fun u -> user_nearest_sim instance u)
@@ -172,6 +190,8 @@ let solve ?(pruning = true) ?warm_start ?(tighten = false) ?budget instance =
       best_maxsum = Matching.maxsum best;
       pruning;
       budget = (match budget with Some b -> b | None -> max_int);
+      deadline;
+      timed_out = Budget.expired deadline;
       invocations = 0;
       complete_searches = 0;
       prunes = 0;
@@ -180,13 +200,15 @@ let solve ?(pruning = true) ?warm_start ?(tighten = false) ?budget instance =
     }
   in
   let exhausted =
-    if Array.length order = 0 then false
+    if Array.length order = 0 || s.timed_out then s.timed_out
     else
       try
         search s 0 1 1;
         false
       with Budget_exhausted -> true
   in
+  if s.timed_out then
+    Validate.audit_matching ~site:"Exact.solve/degraded" s.best;
   ( s.best,
     {
       invocations = s.invocations;
@@ -195,9 +217,10 @@ let solve ?(pruning = true) ?warm_start ?(tighten = false) ?budget instance =
       prune_depth_total = s.prune_depth_total;
       max_depth = s.max_depth;
       exhausted_budget = exhausted;
+      timed_out = s.timed_out;
     } )
 
-let solve_prune instance = fst (solve instance)
+let solve_prune ?deadline instance = fst (solve ?deadline instance)
 
-let solve_exhaustive instance =
-  fst (solve ~pruning:false ~warm_start:false instance)
+let solve_exhaustive ?deadline instance =
+  fst (solve ~pruning:false ~warm_start:false ?deadline instance)

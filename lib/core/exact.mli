@@ -15,8 +15,12 @@
     tests compare objectives with a coarser tolerance.
 
     Worst-case exponential; intended for small instances (the paper uses
-    |V| = 5, |U| ≤ 15). [budget] caps the number of search-node visits and
-    makes the solver anytime. *)
+    |V| = 5, |U| ≤ 15). Two mechanisms make the search anytime: [budget]
+    caps the number of search-node visits, and [deadline] (a
+    [Geacc_robust.Budget.t]) stops it on a time budget. Both unwind at a
+    consistent checkpoint — the incumbent is always a feasible matching
+    built through [Matching]'s checked interface — and return the best
+    matching found so far. *)
 
 type stats = {
   invocations : int;        (** Search-GEACC calls (Fig 6d). *)
@@ -24,15 +28,19 @@ type stats = {
   prunes : int;             (** Branches cut by the Lemma 6 bound. *)
   prune_depth_total : int;  (** Σ depth at each prune; mean = Fig 6a. *)
   max_depth : int;          (** Deepest level reached. *)
-  exhausted_budget : bool;  (** [true] if the visit budget stopped the search
-                                (result is then best-so-far, not optimal). *)
+  exhausted_budget : bool;  (** [true] if the visit budget or the deadline
+                                stopped the search (result is then
+                                best-so-far, not optimal). *)
+  timed_out : bool;         (** [true] if specifically the [deadline]
+                                stopped the search. *)
 }
 
 val solve :
   ?pruning:bool -> ?warm_start:bool -> ?tighten:bool -> ?budget:int ->
+  ?deadline:Geacc_robust.Budget.t ->
   Instance.t -> Matching.t * stats
 (** Defaults: [pruning = true], [warm_start = pruning] (seed the incumbent
-    with Greedy-GEACC), [tighten = false], no budget.
+    with Greedy-GEACC), [tighten = false], no budget, no deadline.
 
     [tighten] adds a user-side admissible bound (extension beyond the
     paper): future gain is also capped by
@@ -44,8 +52,9 @@ val solve :
     orders-of-magnitude fewer visits, but its Fig 6 counters are no longer
     comparable to the paper's, hence opt-in. *)
 
-val solve_prune : Instance.t -> Matching.t
+val solve_prune : ?deadline:Geacc_robust.Budget.t -> Instance.t -> Matching.t
 (** [solve] with the paper's Prune-GEACC configuration. *)
 
-val solve_exhaustive : Instance.t -> Matching.t
+val solve_exhaustive :
+  ?deadline:Geacc_robust.Budget.t -> Instance.t -> Matching.t
 (** [solve ~pruning:false ~warm_start:false] — the Fig 6 baseline. *)

@@ -1,5 +1,6 @@
 module Heap = Geacc_pqueue.Binary_heap
 module Audit = Geacc_check.Audit
+module Budget = Geacc_robust.Budget
 
 type candidate = { sim : float; v : int; u : int }
 
@@ -72,7 +73,7 @@ let refill_user st u =
   in
   scan ()
 
-let solve instance =
+let solve_anytime ?(deadline = Budget.unlimited) instance =
   let st =
     {
       instance;
@@ -92,25 +93,33 @@ let solve instance =
     if Instance.user_capacity instance u > 0 then refill_user st u
   done;
   (* Iteration (lines 11-23): pop the most similar candidate, match it when
-     feasible, then refill from both endpoints that still have capacity. *)
+     feasible, then refill from both endpoints that still have capacity.
+     The deadline is polled between pops, so every matched pair went through
+     the full feasibility check and the prefix stays feasible on expiry. *)
   let rec loop () =
-    match Heap.pop st.heap with
-    | None -> ()
-    | Some { v; u; _ } ->
-        (match Matching.add st.matching ~v ~u with
-        | Ok _ | Error _ -> ());
-        if Matching.remaining_event_capacity st.matching v > 0 then
-          refill_event st v;
-        if Matching.remaining_user_capacity st.matching u > 0 then
-          refill_user st u;
-        (* Audit at the step granularity: a conflict or capacity overflow is
-           reported at the pop that introduced it, with the heap's structure
-           checked alongside the partial matching. *)
-        if Audit.enabled () then begin
-          Audit.Heap.check_binary ~site:"Greedy.solve/pop" st.heap;
-          Validate.audit_matching ~site:"Greedy.solve/pop" st.matching
-        end;
-        loop ()
+    if Budget.check deadline then false
+    else
+      match Heap.pop st.heap with
+      | None -> true
+      | Some { v; u; _ } ->
+          (match Matching.add st.matching ~v ~u with
+          | Ok _ | Error _ -> ());
+          if Matching.remaining_event_capacity st.matching v > 0 then
+            refill_event st v;
+          if Matching.remaining_user_capacity st.matching u > 0 then
+            refill_user st u;
+          (* Audit at the step granularity: a conflict or capacity overflow is
+             reported at the pop that introduced it, with the heap's structure
+             checked alongside the partial matching. *)
+          if Audit.enabled () then begin
+            Audit.Heap.check_binary ~site:"Greedy.solve/pop" st.heap;
+            Validate.audit_matching ~site:"Greedy.solve/pop" st.matching
+          end;
+          loop ()
   in
-  loop ();
-  st.matching
+  let complete = loop () in
+  if not complete then
+    Validate.audit_matching ~site:"Greedy.solve/degraded" st.matching;
+  (st.matching, complete)
+
+let solve instance = fst (solve_anytime instance)

@@ -14,3 +14,11 @@
     id. *)
 
 val solve : Instance.t -> Matching.t
+
+val solve_anytime :
+  ?deadline:Geacc_robust.Budget.t -> Instance.t -> Matching.t * bool
+(** [solve] under a time budget, polled once per heap pop. On expiry the
+    run stops between pops — every pair already matched passed the full
+    feasibility check, so the prefix is a feasible (if no longer maximal)
+    matching. Returns [(matching, complete)]; [complete = false] means the
+    deadline fired first. *)

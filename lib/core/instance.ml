@@ -68,8 +68,21 @@ let conflicts t = t.conflicts
 let similarity t = t.similarity
 let dim t = t.dim
 
+(* [sim.nan]/[sim.huge] corrupt similarity values at this one chokepoint
+   (matching bookkeeping, flow costs and validation all read through here),
+   so the audit layer and the fallback harness can be shown catching a
+   poisoned objective mid-solve. One flag load when no plan is active. *)
+let injected_sim s =
+  if Geacc_robust.Fault.fire "sim.nan" then Float.nan
+  else if Geacc_robust.Fault.fire "sim.huge" then 1e300
+  else s
+
 let sim t ~v ~u =
-  Similarity.eval t.similarity t.events.(v).Entity.attrs t.users.(u).Entity.attrs
+  let s =
+    Similarity.eval t.similarity t.events.(v).Entity.attrs
+      t.users.(u).Entity.attrs
+  in
+  if Geacc_robust.Fault.active () then injected_sim s else s
 
 let event_capacity t v = t.events.(v).Entity.capacity
 let user_capacity t u = t.users.(u).Entity.capacity

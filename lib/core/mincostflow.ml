@@ -1,17 +1,23 @@
 module Graph = Geacc_flow.Graph
 module Mcf = Geacc_flow.Mcf
 module Audit = Geacc_check.Audit
+module Fault = Geacc_robust.Fault
 
 type stats = {
   flow_value : int;
   flow_cost : float;
   augmentations : int;
   dropped_pairs : int;
+  timed_out : bool;
 }
 
 (* Node layout: 0 = source; 1..|V| = events; |V|+1..|V|+|U| = users; last =
    sink. *)
 let build_network instance =
+  (* [mcf.alloc] simulates the network arena failing to materialise (the
+     Θ(|V|·|U|) arc array is this solver's dominant allocation); the
+     fallback harness treats the injected exception as a transient fault. *)
+  Fault.inject "mcf.alloc";
   let n_v = Instance.n_events instance and n_u = Instance.n_users instance in
   let source = 0 in
   let event_node v = 1 + v in
@@ -40,7 +46,7 @@ let build_network instance =
   done;
   (g, source, sink, vu_arc)
 
-let solve_with_stats instance =
+let solve_with_stats ?deadline instance =
   let n_u = Instance.n_users instance in
   let g, source, sink, vu_arc = build_network instance in
   (* A unit of flow adds 1 - path_cost to MaxSum; path costs only grow, so
@@ -61,7 +67,7 @@ let solve_with_stats instance =
     end
   in
   let outcome =
-    Mcf.solve g ~source ~sink
+    Mcf.solve g ~source ~sink ?deadline
       ~should_augment:(fun ~path_cost -> path_cost < 1.)
       ~audit_after_dijkstra ~audit_after_augment ()
   in
@@ -102,12 +108,15 @@ let solve_with_stats instance =
           end)
         sorted)
     assigned;
+  if outcome.Mcf.timed_out then
+    Validate.audit_matching ~site:"Mincostflow.solve/degraded" matching;
   ( matching,
     {
       flow_value = outcome.Mcf.flow;
       flow_cost = outcome.Mcf.cost;
       augmentations = outcome.Mcf.augmentations;
       dropped_pairs = !dropped;
+      timed_out = outcome.Mcf.timed_out;
     } )
 
-let solve instance = fst (solve_with_stats instance)
+let solve ?deadline instance = fst (solve_with_stats ?deadline instance)

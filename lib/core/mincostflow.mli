@@ -24,7 +24,16 @@ type stats = {
   flow_cost : float;       (** Cost of that flow. *)
   augmentations : int;     (** Shortest-path computations that pushed flow. *)
   dropped_pairs : int;     (** Pairs removed by conflict resolution. *)
+  timed_out : bool;        (** [true] when [deadline] stopped the flow sweep
+                                early: conflict resolution then ran on a
+                                min-cost flow of a smaller Δ, so the result
+                                is feasible but may miss the argmax Δ. *)
 }
 
-val solve : Instance.t -> Matching.t
-val solve_with_stats : Instance.t -> Matching.t * stats
+val solve : ?deadline:Geacc_robust.Budget.t -> Instance.t -> Matching.t
+(** [deadline] (default: unlimited) is polled between augmentations of the
+    underlying SSP loop; on expiry the partial flow — a valid min-cost flow
+    of its own amount — is resolved into a feasible matching as usual. *)
+
+val solve_with_stats :
+  ?deadline:Geacc_robust.Budget.t -> Instance.t -> Matching.t * stats

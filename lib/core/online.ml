@@ -1,14 +1,25 @@
-let check_permutation instance order =
+module Error = Geacc_robust.Error
+
+let check_order instance order =
   let n = Instance.n_users instance in
+  let invalid message = Error (Error.Invalid_input { what = "order"; message }) in
   if Array.length order <> n then
-    invalid_arg "Online.solve: order length differs from |U|";
-  let seen = Array.make n false in
-  Array.iter
-    (fun u ->
-      if u < 0 || u >= n || seen.(u) then
-        invalid_arg "Online.solve: order is not a permutation of the users";
-      seen.(u) <- true)
-    order
+    invalid
+      (Printf.sprintf "length %d differs from |U| = %d" (Array.length order) n)
+  else begin
+    let seen = Array.make n false in
+    let bad = ref None in
+    Array.iter
+      (fun u ->
+        if !bad = None then
+          if u < 0 || u >= n then
+            bad := Some (Printf.sprintf "user id %d out of range [0, %d)" u n)
+          else if seen.(u) then
+            bad := Some (Printf.sprintf "user id %d appears twice" u)
+          else seen.(u) <- true)
+      order;
+    match !bad with None -> Ok () | Some message -> invalid message
+  end
 
 (* Serve one arrival: walk the user's neighbour ranks (descending
    similarity), taking every event that is feasible right now, until the
@@ -24,19 +35,22 @@ let serve matching instance u =
   in
   walk 1
 
-let solve ?order instance =
-  let order =
-    match order with
-    | Some o ->
-        check_permutation instance o;
-        o
-    | None -> Array.init (Instance.n_users instance) Fun.id
-  in
+let solve_order instance order =
   let matching = Matching.create instance in
   Array.iter (fun u -> serve matching instance u) order;
   matching
 
+let solve ?order instance =
+  match order with
+  | None -> Ok (solve_order instance (Array.init (Instance.n_users instance) Fun.id))
+  | Some o -> (
+      match check_order instance o with
+      | Ok () -> Ok (solve_order instance o)
+      | Error _ as e -> e)
+
 let solve_random_order ~rng instance =
   let order = Array.init (Instance.n_users instance) Fun.id in
   Geacc_util.Rng.shuffle_in_place rng order;
-  solve ~order instance
+  (* A shuffled identity array is a permutation by construction, so the
+     checked path cannot fail here. *)
+  solve_order instance order

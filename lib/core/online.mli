@@ -11,11 +11,25 @@
     The result is feasible by construction but can be far below the offline
     algorithms — early arrivals lock up capacity of broadly popular
     events — which the [ablation-online] benchmark quantifies against
-    Greedy-GEACC and the optimum. *)
+    Greedy-GEACC and the optimum.
 
-val solve : ?order:int array -> Instance.t -> Matching.t
+    Arrival orders come from callers (ultimately from network input in a
+    serving deployment), so a bad order is a data error, not a programming
+    error: it is reported as a structured [Error.Invalid_input] naming the
+    offending id, never as an exception. *)
+
+val check_order :
+  Instance.t -> int array -> (unit, Geacc_robust.Error.t) result
+(** [Ok ()] iff the array is a permutation of the user ids. The error
+    pinpoints the first problem: wrong length, out-of-range id, or
+    duplicated id. *)
+
+val solve :
+  ?order:int array ->
+  Instance.t ->
+  (Matching.t, Geacc_robust.Error.t) result
 (** [order] is the arrival permutation of user ids (default: ascending).
-    @raise Invalid_argument if [order] is not a permutation of the users. *)
+    Fails with {!check_order}'s error when [order] is not a permutation. *)
 
 val solve_random_order : rng:Geacc_util.Rng.t -> Instance.t -> Matching.t
 (** Arrival order drawn uniformly from the permutations of the users. *)

@@ -52,15 +52,15 @@ let is_exact = function
   | Online ->
       false
 
-let run ?rng algorithm instance =
+let run ?rng ?deadline algorithm instance =
   let rng =
     match rng with Some r -> r | None -> Geacc_util.Rng.create ~seed:42
   in
   match algorithm with
-  | Greedy -> Greedy.solve instance
-  | Min_cost_flow -> Mincostflow.solve instance
-  | Prune -> Exact.solve_prune instance
-  | Exhaustive -> Exact.solve_exhaustive instance
+  | Greedy -> fst (Greedy.solve_anytime ?deadline instance)
+  | Min_cost_flow -> Mincostflow.solve ?deadline instance
+  | Prune -> Exact.solve_prune ?deadline instance
+  | Exhaustive -> Exact.solve_exhaustive ?deadline instance
   | Random_v -> Random_baseline.random_v ~rng instance
   | Random_u -> Random_baseline.random_u ~rng instance
   | Greedy_naive -> Greedy_naive.solve instance

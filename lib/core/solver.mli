@@ -33,6 +33,16 @@ val of_string : string -> (algorithm, string) result
 
 val is_exact : algorithm -> bool
 
-val run : ?rng:Geacc_util.Rng.t -> algorithm -> Instance.t -> Matching.t
+val run :
+  ?rng:Geacc_util.Rng.t ->
+  ?deadline:Geacc_robust.Budget.t ->
+  algorithm ->
+  Instance.t ->
+  Matching.t
 (** Runs the algorithm. [rng] defaults to a fixed seed (42) so that even
-    baseline runs are reproducible by default. *)
+    baseline runs are reproducible by default. [deadline] makes the
+    budget-aware algorithms ({!Greedy}, {!Min_cost_flow}, {!Prune},
+    {!Exhaustive}) anytime — on expiry they return their best feasible
+    matching so far; the remaining algorithms already run in (low)
+    polynomial time and ignore it. Use {!Anytime.solve} to also learn
+    whether the result was degraded. *)

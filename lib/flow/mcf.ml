@@ -1,4 +1,11 @@
-type outcome = { flow : int; cost : float; augmentations : int }
+module Budget = Geacc_robust.Budget
+
+type outcome = {
+  flow : int;
+  cost : float;
+  augmentations : int;
+  timed_out : bool;
+}
 
 exception Negative_cycle
 
@@ -16,7 +23,8 @@ let initial_potential g ~source =
            from the reachable region, so their reduced costs never matter. *)
         Array.map (fun d -> if Float.equal d infinity then 0. else d) dist
 
-let solve g ~source ~sink ?target_flow ?(should_augment = fun ~path_cost:_ -> true)
+let solve g ~source ~sink ?(deadline = Budget.unlimited) ?target_flow
+    ?(should_augment = fun ~path_cost:_ -> true)
     ?(on_augment = fun ~units:_ ~path_cost:_ -> `Continue)
     ?(audit_after_dijkstra = fun ~potential:_ -> ())
     ?(audit_after_augment = fun () -> ()) () =
@@ -29,10 +37,18 @@ let solve g ~source ~sink ?target_flow ?(should_augment = fun ~path_cost:_ -> tr
     match target_flow with None -> true | Some t -> !total_flow < t
   in
   let continue = ref true in
+  let timed_out = ref false in
   (* Scratch refs for the augmentation walks, hoisted out of the loop. *)
   let bottleneck = ref max_int in
   let v = ref sink in
   while !continue && want_more () do
+    (* Deadline poll between augmentations: each iteration runs a full
+       Dijkstra, so read the clock every time rather than batching. *)
+    if Budget.check_now deadline then begin
+      timed_out := true;
+      continue := false
+    end
+    else begin
     let { Shortest_path.dist; parent_arc } =
       Shortest_path.dijkstra g ~source ~potential:pi ~stop_at:sink ()
     in
@@ -81,5 +97,11 @@ let solve g ~source ~sink ?target_flow ?(should_augment = fun ~path_cost:_ -> tr
       | `Stop -> continue := false)
       end
     end
+    end
   done;
-  { flow = !total_flow; cost = !total_cost; augmentations = !augmentations }
+  {
+    flow = !total_flow;
+    cost = !total_cost;
+    augmentations = !augmentations;
+    timed_out = !timed_out;
+  }

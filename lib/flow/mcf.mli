@@ -11,6 +11,9 @@ type outcome = {
   flow : int;            (** Total units routed. *)
   cost : float;          (** Total cost of the routed flow. *)
   augmentations : int;   (** Number of augmenting paths used. *)
+  timed_out : bool;      (** [true] when [deadline] expired: the flow is a
+                             min-cost flow of its (smaller) amount, not of
+                             the requested one. *)
 }
 
 exception Negative_cycle
@@ -21,6 +24,7 @@ val solve :
   Graph.t ->
   source:int ->
   sink:int ->
+  ?deadline:Geacc_robust.Budget.t ->
   ?target_flow:int ->
   ?should_augment:(path_cost:float -> bool) ->
   ?on_augment:(units:int -> path_cost:float -> [ `Continue | `Stop ]) ->
@@ -29,7 +33,12 @@ val solve :
   unit ->
   outcome
 (** Augments until the sink is unreachable, [target_flow] is met,
-    [should_augment] refuses, or [on_augment] answers [`Stop].
+    [should_augment] refuses, [on_augment] answers [`Stop], or [deadline]
+    (default: unlimited) expires. The deadline is polled once per iteration,
+    {e between} augmentations — an expiry never interrupts a path push, so
+    the flow left in the graph is always consistent (capacity- and
+    conservation-clean) and optimal for its own amount; the outcome is then
+    flagged [timed_out].
     [should_augment] is consulted {e before} pushing along a found path —
     since path costs are non-decreasing across augmentations, refusing once
     ends the run with the flow untouched by that path (this is how

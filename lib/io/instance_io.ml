@@ -1,4 +1,5 @@
 open Geacc_core
+module Fault = Geacc_robust.Fault
 
 exception Parse_error of { line : int; message : string }
 
@@ -95,14 +96,23 @@ let parse_sim ~line args =
   | [ "cosine" ] -> Similarity.cosine
   | _ -> fail ~line "unsupported similarity %S" (String.concat " " args)
 
+let parse_attr ~line s =
+  let x = parse_float ~line s in
+  if Float.is_finite x then x
+  else fail ~line "attribute %S is not finite" s
+
+let parse_capacity ~line s =
+  let c = parse_int ~line s in
+  if c >= 0 then c else fail ~line "capacity %d is negative" c
+
 let parse_entities cur ~count =
   Array.init count (fun id ->
       let line, l = next_line cur in
       match tokens l with
       | capacity :: attrs when attrs <> [] ->
           Entity.make ~id
-            ~attrs:(Array.of_list (List.map (parse_float ~line) attrs))
-            ~capacity:(parse_int ~line capacity)
+            ~attrs:(Array.of_list (List.map (parse_attr ~line) attrs))
+            ~capacity:(parse_capacity ~line capacity)
       | _ -> fail ~line "expected `<capacity> <attr...>`, got %S" l)
 
 let load_instance text =
@@ -131,14 +141,21 @@ let load_instance text =
     | [ n ] -> parse_int ~line n
     | _ -> fail ~line "expected `conflicts <count>`"
   in
-  let conflicts = Conflict.create ~n_events:(Array.length events) in
+  let n_events = Array.length events in
+  let conflicts = Conflict.create ~n_events in
   for _ = 1 to n_conflicts do
     let line, l = next_line cur in
     match tokens l with
-    | [ v; w ] -> (
+    | [ v; w ] ->
         let v = parse_int ~line v and w = parse_int ~line w in
-        try Conflict.add conflicts v w
-        with Invalid_argument msg -> fail ~line "%s" msg)
+        if v < 0 || v >= n_events then
+          fail ~line "conflict event id %d out of range [0, %d)" v n_events;
+        if w < 0 || w >= n_events then
+          fail ~line "conflict event id %d out of range [0, %d)" w n_events;
+        if v = w then fail ~line "event %d conflicts with itself" v;
+        if Conflict.mem conflicts v w then
+          fail ~line "duplicate conflict pair (%d, %d)" v w;
+        Conflict.add conflicts v w
     | _ -> fail ~line "expected `<event> <event>`, got %S" l
   done;
   (match cur.rest with
@@ -147,13 +164,45 @@ let load_instance text =
   try Instance.create ~sim ~events ~users ~conflicts ()
   with Invalid_argument msg -> fail ~line:0 "%s" msg
 
+(* [io.truncate] and [io.corrupt] mangle the bytes after a successful read,
+   simulating a half-written or bit-rotted file: the strict parser above
+   must then fail with a precise error rather than build a bad instance. *)
+let mangle text =
+  let text =
+    if Fault.fire "io.truncate" then String.sub text 0 (String.length text / 2)
+    else text
+  in
+  if Fault.fire "io.corrupt" then
+    match String.index_opt text '0' with
+    | None -> text
+    | Some i ->
+        let b = Bytes.of_string text in
+        Bytes.set b i 'x';
+        Bytes.to_string b
+  else text
+
 let read_file path =
   let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  if Fault.active () then mangle text else text
 
 let read_instance ~path = load_instance (read_file path)
+
+let load_instance_result text =
+  match load_instance text with
+  | instance -> Ok instance
+  | exception Parse_error { line; message } ->
+      Error (Geacc_robust.Error.Parse_error { line; message })
+
+let read_instance_result ~path =
+  match read_file path with
+  | exception Sys_error message ->
+      Error (Geacc_robust.Error.Io_error { path; message })
+  | text -> load_instance_result text
 
 let save_pairs pairs =
   let buf = Buffer.create 256 in

@@ -24,7 +24,21 @@
     v}
 
     Custom similarities are not serialisable: saving such an instance
-    raises. *)
+    raises.
+
+    Loading is strict: beyond shape errors, it rejects non-finite attribute
+    values, negative capacities, conflict ids out of range, self-conflicts
+    and duplicate conflict pairs, each with the precise 1-based line number
+    and offending value — a malformed file must never become a silently
+    garbage instance. The [_result] variants report the same failures (and
+    unreadable files) as structured [Geacc_robust.Error.t] values for
+    callers that must not unwind; the exception API remains for the many
+    callers whose inputs are trusted build products.
+
+    Fault points (see [Geacc_robust.Fault]): [io.truncate] drops the second
+    half of a file's bytes after reading, [io.corrupt] flips its first
+    digit to [x] — both deterministically exercise the parse-error paths
+    end-to-end. *)
 
 exception Parse_error of { line : int; message : string }
 
@@ -35,6 +49,15 @@ val load_instance : string -> Geacc_core.Instance.t
 (** @raise Parse_error on malformed input. *)
 
 val read_instance : path:string -> Geacc_core.Instance.t
+
+val load_instance_result :
+  string -> (Geacc_core.Instance.t, Geacc_robust.Error.t) result
+(** {!load_instance} with the failure as a value. *)
+
+val read_instance_result :
+  path:string -> (Geacc_core.Instance.t, Geacc_robust.Error.t) result
+(** {!read_instance} with unreadable-file ([Io_error]) and parse failures
+    as values. *)
 
 val save_pairs : (int * int) list -> string
 val write_pairs : path:string -> (int * int) list -> unit

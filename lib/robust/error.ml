@@ -1,0 +1,20 @@
+type t =
+  | Parse_error of { line : int; message : string }
+  | Io_error of { path : string; message : string }
+  | Invalid_input of { what : string; message : string }
+  | Timeout of { stage : string; elapsed_s : float }
+  | Exhausted of { stages : int; last : string; detail : string }
+
+let to_string = function
+  | Parse_error { line; message } ->
+      if line > 0 then Printf.sprintf "parse error at line %d: %s" line message
+      else Printf.sprintf "parse error: %s" message
+  | Io_error { path; message } -> Printf.sprintf "io error on %s: %s" path message
+  | Invalid_input { what; message } ->
+      Printf.sprintf "invalid %s: %s" what message
+  | Timeout { stage; elapsed_s } ->
+      Printf.sprintf "timeout after %.3fs in stage %s" elapsed_s stage
+  | Exhausted { stages; last; detail } ->
+      Printf.sprintf "all %d stages failed; last (%s): %s" stages last detail
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)

@@ -1,0 +1,99 @@
+Robustness features of the geacc CLI: time-budgeted anytime solving, the
+fallback chain, deterministic fault injection and the degraded exit code.
+All timeouts below are forced through GEACC_FAULTS (timeout.<stage>@N =
+the stage's budget expires on poll N), so every run is reproducible; only
+the timing lines/columns vary and are globbed or filtered out.
+
+  $ geacc generate --out small.inst --events 6 --users 12 --dim 2 --cv-max 3 --cu-max 2 --conflict-ratio 0.5 --seed 7 2> /dev/null
+  wrote small.inst: |V|=6 |U|=12 d=2 sum(c_v)=14 sum(c_u)=21 max(c_u)=2 CF(8 pairs, ratio 0.533) sim=euclidean(d=2,T=10000)
+
+A budgeted run that completes within its deadline is a normal success.
+
+  $ geacc solve -i small.inst -a greedy --timeout 100 2> /dev/null | grep -v '^time:'
+  algorithm: Greedy-GEACC
+  MaxSum: 11.194629
+  matched pairs: 14
+  status: complete
+
+Forcing both exact stages to time out mid-search makes the chain fall back
+to MinCostFlow; the served matching is still feasible, the result is
+reported degraded, the stderr summary counts the fallbacks, and the exit
+code is 3 (feasible but degraded) — with audits on, so every degraded
+checkpoint was re-validated before being served.
+
+  $ GEACC_FAULTS='timeout.exhaustive@2,timeout.prune@2' GEACC_AUDIT=1 geacc solve -i small.inst --fallback -o degraded.match > degraded.out 2> degraded.err; echo "exit=$?"
+  exit=3
+  $ grep -v '^time:' degraded.out
+  algorithm: MinCostFlow-GEACC
+  MaxSum: 9.330672
+  matched pairs: 11
+  status: degraded (stage exhaustive timed out)
+  wrote matching to degraded.match
+  $ grep '^anytime:' degraded.err
+  anytime: status=degraded stage=mincostflow stages-tried=3 fallbacks=2 retries=0 faults=0 injected-faults=0 audit-violations=0
+  $ grep -E '^(exhaustive|prune|mincostflow)' degraded.err | awk '{print $1, $2, $3}'
+  exhaustive 1 timed
+  prune 1 timed
+  mincostflow 1 completed
+
+The degraded matching must validate clean against the instance.
+
+  $ geacc validate -i small.inst -m degraded.match
+  feasible: 11 pairs, MaxSum 9.330672
+
+A transient allocation fault in the flow-network build is retried and the
+run still completes (exit 0); the summary records the retry and the fired
+injection.
+
+  $ GEACC_FAULTS='mcf.alloc@1' geacc solve -i small.inst -a mincostflow --timeout 100 --max-retries 1 > retry.out 2> retry.err; echo "exit=$?"
+  exit=0
+  $ grep '^status:' retry.out
+  status: complete
+  $ grep '^anytime:' retry.err
+  anytime: status=complete stage=mincostflow stages-tried=1 fallbacks=0 retries=1 faults=1 injected-faults=1 audit-violations=0
+
+A persistent fault with no fallback exhausts the chain (exit 1).
+
+  $ GEACC_FAULTS='mcf.alloc' geacc solve -i small.inst -a mincostflow --timeout 100 --max-retries 2 2>&1 >/dev/null | tail -1;
+  geacc: all 1 stages failed; last (mincostflow): Fault.Injected at point mcf.alloc
+
+A malformed fault plan is refused up front rather than silently ignored.
+
+  $ GEACC_FAULTS='BAD' geacc info -i small.inst
+  geacc: malformed GEACC_FAULTS: bad fault point "BAD"
+  [1]
+
+Injected file corruption surfaces as a precise parse error (exit 1), never
+as a half-built instance.
+
+  $ GEACC_FAULTS='io.truncate' geacc info -i small.inst
+  geacc: parse error: unexpected end of input
+  [1]
+  $ GEACC_FAULTS='io.corrupt' geacc info -i small.inst
+  geacc: parse error at line 2: expected a number, got "1x000"
+  [1]
+
+The online solver reports non-permutation arrival orders as structured
+input errors (exit 1) — wrong length, duplicates — and serves valid ones.
+
+  $ geacc solve -i small.inst -a online --order 0,1,2
+  geacc: invalid order: length 3 differs from |U| = 12
+  [1]
+  $ geacc solve -i small.inst -a online --order 0,0,1,2,3,4,5,6,7,8,9,10
+  geacc: invalid order: user id 0 appears twice
+  [1]
+  $ geacc solve -i small.inst -a online --order 11,10,9,8,7,6,5,4,3,2,1,0
+  algorithm: Online-Greedy
+  MaxSum: 10.574453
+  matched pairs: 14
+  $ geacc solve -i small.inst -a greedy --order 0,1
+  geacc: --order only applies to --algorithm online
+  [1]
+
+An infeasible matching file still maps to the dedicated exit code 2.
+
+  $ printf 'geacc-matching 1\npairs 2\n0 0\n0 0\n' > bad.match
+  $ geacc validate -i small.inst -m bad.match
+  violation: duplicate pair (v0,u0)
+  geacc: 1 violations
+  [2]

@@ -91,6 +91,13 @@ let test_local_search_respects_rounds () =
        false
      with Invalid_argument _ -> true)
 
+(* [Online.solve] reports bad orders as a structured [Error]; the tests for
+   well-formed orders unwrap it. *)
+let online_exn ?order t =
+  match Online.solve ?order t with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "online: %s" (Geacc_robust.Error.to_string e)
+
 let test_online_feasible_any_order () =
   let rng = Geacc_util.Rng.create ~seed:5 in
   for seed = 1 to 15 do
@@ -103,14 +110,14 @@ let test_online_default_order_deterministic () =
   let t = Synthetic.generate ~seed:2 cfg in
   Alcotest.(check (list (pair int int)))
     "ascending arrivals reproducible"
-    (Matching.pairs (Online.solve t))
-    (Matching.pairs (Online.solve t))
+    (Matching.pairs (online_exn t))
+    (Matching.pairs (online_exn t))
 
 let test_online_bounded_by_optimum () =
   for seed = 1 to 10 do
     let t = Synthetic.generate ~seed cfg in
     let opt = Matching.maxsum (Exact.solve_prune t) in
-    let online = Matching.maxsum (Online.solve t) in
+    let online = Matching.maxsum (online_exn t) in
     Alcotest.(check bool)
       (Printf.sprintf "seed %d: online <= opt" seed)
       true
@@ -121,7 +128,7 @@ let test_online_each_user_served_greedily () =
   (* The first arrival faces a fresh system: it must receive its top
      feasible events. *)
   let t = Synthetic.generate ~seed:3 cfg in
-  let m = Online.solve t in
+  let m = online_exn t in
   let u = 0 in
   let got = List.sort compare (Matching.user_events m u) in
   let expected =
@@ -143,16 +150,20 @@ let test_online_each_user_served_greedily () =
 
 let test_online_rejects_bad_order () =
   let t = Synthetic.generate ~seed:4 cfg in
-  Alcotest.(check bool) "wrong length" true
-    (try
-       ignore (Online.solve ~order:[| 0 |] t);
-       false
-     with Invalid_argument _ -> true);
-  Alcotest.(check bool) "duplicate ids" true
-    (try
-       ignore (Online.solve ~order:(Array.make (Instance.n_users t) 0) t);
-       false
-     with Invalid_argument _ -> true)
+  let expect_invalid label order =
+    match Online.solve ~order t with
+    | Ok _ -> Alcotest.failf "%s: accepted a bad order" label
+    | Error (Geacc_robust.Error.Invalid_input { what; _ }) ->
+        Alcotest.(check string) (label ^ " names order") "order" what
+    | Error e ->
+        Alcotest.failf "%s: unexpected error %s" label
+          (Geacc_robust.Error.to_string e)
+  in
+  expect_invalid "wrong length" [| 0 |];
+  expect_invalid "duplicate ids" (Array.make (Instance.n_users t) 0);
+  expect_invalid "out of range"
+    (Array.init (Instance.n_users t) (fun i ->
+         if i = 0 then Instance.n_users t else i))
 
 let suite =
   [

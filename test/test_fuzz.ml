@@ -1,0 +1,83 @@
+(* Differential fuzzing across all solvers.
+
+   ~200 seeded random instances (sizes small enough for the exact searches),
+   every [Solver.algorithm] on each. Invariants checked per instance:
+
+   - every algorithm's matching passes the independent [Validate] check;
+   - the exact solvers agree with each other and dominate every
+     approximation/baseline on MaxSum;
+   - the heap greedy and the sort-all-pairs naive greedy produce identical
+     arrangements (shared tie-breaking contract, see Greedy_naive docs).
+
+   Deterministic: instance shapes are derived from a seeded RNG, and every
+   solver consumes a freshly-seeded RNG of its own. *)
+
+open Geacc_core
+module Synthetic = Geacc_datagen.Synthetic
+module Rng = Geacc_util.Rng
+
+let n_instances = 200
+
+let config_of rng =
+  {
+    Synthetic.default with
+    Synthetic.n_events = Rng.int_in rng 2 4;
+    n_users = Rng.int_in rng 3 8;
+    dim = Rng.int_in rng 1 3;
+    t_max = 100.;
+    event_capacity = Synthetic.Cap_uniform (Rng.int_in rng 1 3);
+    user_capacity = Synthetic.Cap_uniform (Rng.int_in rng 1 2);
+    conflict_ratio = Rng.float rng 0.6;
+  }
+
+let exact = [ Solver.Prune; Solver.Exhaustive ]
+
+let check_instance ~seed t =
+  let label a = Printf.sprintf "seed %d %s" seed (Solver.short_name a) in
+  let results =
+    List.map
+      (fun a ->
+        let rng = Rng.create ~seed:(seed + 7919) in
+        let m = Solver.run ~rng a t in
+        (a, m))
+      Solver.all
+  in
+  (* 1. Feasibility, for every algorithm. *)
+  List.iter
+    (fun (a, m) ->
+      match Validate.check_matching m with
+      | [] -> ()
+      | violations ->
+          Alcotest.failf "%s: %d feasibility violations" (label a)
+            (List.length violations))
+    results;
+  (* 2. The exact solvers agree and dominate everything else. *)
+  let maxsum a = Matching.maxsum (List.assoc a results) in
+  let opt = maxsum Solver.Prune in
+  Alcotest.(check (float 1e-6))
+    (Printf.sprintf "seed %d: prune = exhaustive" seed)
+    opt
+    (maxsum Solver.Exhaustive);
+  List.iter
+    (fun (a, m) ->
+      if not (List.mem a exact) then
+        let got = Matching.maxsum m in
+        if got > opt +. 1e-6 then
+          Alcotest.failf "%s: beats the optimum (%.9f > %.9f)" (label a) got
+            opt)
+    results;
+  (* 3. Identical greedy arrangements, not just equal objectives. *)
+  Alcotest.(check (list (pair int int)))
+    (Printf.sprintf "seed %d: greedy = naive greedy" seed)
+    (Matching.pairs (List.assoc Solver.Greedy results))
+    (Matching.pairs (List.assoc Solver.Greedy_naive results))
+
+let test_differential () =
+  let shape_rng = Rng.create ~seed:20150413 in
+  for seed = 1 to n_instances do
+    let t = Synthetic.generate ~seed (config_of shape_rng) in
+    check_instance ~seed t
+  done
+
+let suite =
+  [ Alcotest.test_case "200-instance differential sweep" `Slow test_differential ]

@@ -133,6 +133,69 @@ let test_malformed_instances () =
   Alcotest.(check bool) "missing section" true
     (expect_instance_error "geacc-instance 1\nsim euclidean 1 1\nusers 0\n")
 
+(* Hardened instance validation: each rejection carries the offending line
+   and a message precise enough to pin. *)
+let expect_instance_error_message text ~line ~needle =
+  match Io.load_instance text with
+  | _ -> Alcotest.failf "accepted instance with %s" needle
+  | exception Io.Parse_error { line = l; message } ->
+      Alcotest.(check int) (needle ^ ": line") line l;
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S mentions %S" message needle)
+        true (contains message needle)
+
+let test_rejects_non_finite_attributes () =
+  List.iter
+    (fun bad ->
+      expect_instance_error_message
+        (Printf.sprintf
+           "geacc-instance 1\nsim euclidean 1 1\nevents 1\n1 %s\nusers 1\n1 \
+            0.5\nconflicts 0\n"
+           bad)
+        ~line:4 ~needle:"not finite")
+    [ "nan"; "inf"; "-inf" ]
+
+let test_rejects_negative_capacity () =
+  expect_instance_error_message
+    "geacc-instance 1\nsim euclidean 1 1\nevents 1\n-2 0.5\nusers 1\n1 0.5\nconflicts 0\n"
+    ~line:4 ~needle:"capacity -2 is negative"
+
+let two_event_prefix =
+  "geacc-instance 1\nsim euclidean 1 1\nevents 2\n1 0.5\n1 0.25\nusers 1\n1 0.5\nconflicts "
+
+let test_rejects_bad_conflicts () =
+  expect_instance_error_message
+    (two_event_prefix ^ "1\n0 0\n")
+    ~line:9 ~needle:"conflicts with itself";
+  expect_instance_error_message
+    (two_event_prefix ^ "1\n0 2\n")
+    ~line:9 ~needle:"out of range";
+  expect_instance_error_message
+    (two_event_prefix ^ "1\n-1 0\n")
+    ~line:9 ~needle:"out of range";
+  expect_instance_error_message
+    (two_event_prefix ^ "2\n0 1\n1 0\n")
+    ~line:10 ~needle:"duplicate conflict pair"
+
+let test_result_api () =
+  (match Io.load_instance_result "geacc-instance 1\nsim nonsense\n" with
+  | Error (Geacc_robust.Error.Parse_error { line; _ }) ->
+      Alcotest.(check int) "error line" 2 line
+  | Error e ->
+      Alcotest.failf "unexpected error %s" (Geacc_robust.Error.to_string e)
+  | Ok _ -> Alcotest.fail "bad instance accepted");
+  match Io.read_instance_result ~path:"/nonexistent/geacc.inst" with
+  | Error (Geacc_robust.Error.Io_error { path; _ }) ->
+      Alcotest.(check string) "path carried" "/nonexistent/geacc.inst" path
+  | Error e ->
+      Alcotest.failf "unexpected error %s" (Geacc_robust.Error.to_string e)
+  | Ok _ -> Alcotest.fail "nonexistent file read"
+
 let test_parse_error_carries_line () =
   try
     ignore (Io.load_pairs "geacc-matching 1\npairs 1\nbad line\n")
@@ -154,4 +217,11 @@ let suite =
     Alcotest.test_case "malformed instances" `Quick test_malformed_instances;
     Alcotest.test_case "parse error line numbers" `Quick
       test_parse_error_carries_line;
+    Alcotest.test_case "rejects non-finite attributes" `Quick
+      test_rejects_non_finite_attributes;
+    Alcotest.test_case "rejects negative capacities" `Quick
+      test_rejects_negative_capacity;
+    Alcotest.test_case "rejects bad conflict pairs" `Quick
+      test_rejects_bad_conflicts;
+    Alcotest.test_case "result api" `Quick test_result_api;
   ]

@@ -18,4 +18,6 @@ let () =
       ("datagen", Test_datagen.suite);
       ("io", Test_io.suite);
       ("bench-util", Test_bench_util.suite);
+      ("robust", Test_robust.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

@@ -9,8 +9,9 @@ open Geacc_util
 module Synthetic = Geacc_datagen.Synthetic
 module Meetup = Geacc_datagen.Meetup
 module Harness = Geacc_bench.Harness
+module Pool = Geacc_par.Pool
 
-type profile = { full : bool; trials : int }
+type profile = { full : bool; trials : int; jobs : int }
 
 let default_trials = 3
 
@@ -37,16 +38,31 @@ let print_sweep_tables ~title ~xlabel ~rows ~algorithms =
       Table.print table)
     metrics
 
-(* Generic sweep over pre-labelled instance families, averaged trials. *)
+(* Generic sweep over pre-labelled instance families, averaged trials. The
+   (point, seed) grid is flattened and distributed over the domain pool;
+   every cell's work is a function of its (point, seed) coordinates alone,
+   and per-point aggregation folds trials in seed order, so the printed
+   tables are identical for every [profile.jobs]. *)
 let labelled_sweep ~profile ~title ~xlabel ~points
     ?(algorithms = fig34_algorithms) () =
+  let points = Array.of_list points in
+  let n_points = Array.length points and trials = profile.trials in
+  let cells = Array.init n_points (fun _ -> Array.make trials [||]) in
+  Pool.parallel_for ~jobs:profile.jobs ~n:(n_points * trials) (fun i ->
+      let p = i / trials and t = i mod trials in
+      let label, make_instance = points.(p) in
+      if t = 0 then Printf.eprintf "[bench] %s: %s = %s\n%!" title xlabel label;
+      let seed = t + 1 in
+      cells.(p).(t) <-
+        Array.of_list
+          (List.map
+             (fun a -> Harness.measure ~seed a (fun () -> make_instance ~seed))
+             algorithms));
   let rows =
-    List.map
-      (fun (label, make_instance) ->
-        Printf.eprintf "[bench] %s: %s = %s\n%!" title xlabel label;
-        ( label,
-          Harness.average ~trials:profile.trials ~make_instance algorithms ))
-      points
+    Array.to_list
+      (Array.mapi
+         (fun p (label, _) -> (label, Harness.aggregate cells.(p)))
+         points)
   in
   print_sweep_tables ~title ~xlabel ~rows ~algorithms
 

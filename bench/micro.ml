@@ -100,6 +100,32 @@ let kd_test =
               (Array.init 8 (fun k -> float_of_int (100 * k)))
               ~k:10)))
 
+(* Multicore substrate: the two parallelised construction kernels at jobs=1
+   (exact sequential path, the no-regression guard) and jobs=4 (domain-pool
+   path; gains scale with hardware threads). Outputs are byte-identical by
+   the pool's determinism contract — only the timing may differ. *)
+let mcf_instance =
+  lazy
+    (Synthetic.generate ~seed:1
+       { Synthetic.default with Synthetic.n_events = 100; n_users = 1000 })
+
+let mcf_build_test ~jobs =
+  Test.make ~name:(Printf.sprintf "MCF network build (100x1000) jobs=%d" jobs)
+    (Staged.stage (fun () ->
+         let instance = Lazy.force mcf_instance in
+         ignore (Geacc_core.Mincostflow.build_network ~jobs instance)))
+
+let kd_build_points =
+  lazy
+    (Array.init 50_000 (fun i ->
+         Array.init 8 (fun k -> float_of_int ((i * (k + 13)) mod 9973))))
+
+let kd_build_test ~jobs =
+  Test.make ~name:(Printf.sprintf "kd-tree build (50k pts, d=8) jobs=%d" jobs)
+    (Staged.stage (fun () ->
+         let points = Lazy.force kd_build_points in
+         ignore (Geacc_index.Kd_tree.build ~jobs points)))
+
 (* Budget polling overhead: the same solver run with a disarmed budget
    (the default) and with an armed budget whose deadline is far away, so
    every iteration pays the cooperative poll but the run never degrades.
@@ -128,6 +154,10 @@ let tests =
       float_heap_test;
       dijkstra_test;
       kd_test;
+      mcf_build_test ~jobs:1;
+      mcf_build_test ~jobs:4;
+      kd_build_test ~jobs:1;
+      kd_build_test ~jobs:4;
     ]
 
 let run () =

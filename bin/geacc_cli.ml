@@ -327,8 +327,22 @@ let solve_cmd =
             "Comma-separated user arrival order for $(b,-a online); must be \
              a permutation of the user ids.")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the parallel phases (network construction, \
+             index build). Defaults to $(b,GEACC_JOBS) or 1. Results are \
+             byte-identical for every N.")
+  in
   let run () instance_path algorithm out seed backend timeout stage_timeout
-      fallback max_retries order =
+      fallback max_retries order jobs =
+    (match jobs with
+    | None -> ()
+    | Some j when j >= 1 -> Geacc_par.Pool.set_default_jobs j
+    | Some j -> die "--jobs expects a positive integer, got %d" j);
     let instance = load_instance_or_die ?backend instance_path in
     match order with
     | Some order ->
@@ -359,7 +373,8 @@ let solve_cmd =
   let term =
     Term.(
       const run $ logs_term $ instance_arg $ algorithm $ out $ seed_arg
-      $ index_arg $ timeout $ stage_timeout $ fallback $ max_retries $ order)
+      $ index_arg $ timeout $ stage_timeout $ fallback $ max_retries $ order
+      $ jobs)
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve an instance and report MaxSum/time/memory.")

@@ -1,5 +1,6 @@
 open Geacc_util
 open Geacc_core
+module Pool = Geacc_par.Pool
 
 type measurement = {
   algorithm : Solver.algorithm;
@@ -49,31 +50,59 @@ type aggregate = {
   mean_live_bytes : float;
 }
 
-let average ~trials ~make_instance algorithms =
+let measure_grid ?jobs ~trials ~make_instance algorithms =
   assert (trials >= 1);
+  let algos = Array.of_list algorithms in
+  let n_alg = Array.length algos in
+  assert (n_alg >= 1);
+  let grid = Array.make_matrix trials n_alg None in
+  (* Each trial is seeded by its own index, so the work a trial does — and
+     the instance it builds — is independent of which domain runs it. *)
+  Pool.parallel_for ?jobs ~n:trials (fun t ->
+      let seed = t + 1 in
+      for i = 0 to n_alg - 1 do
+        grid.(t).(i) <-
+          Some (measure ~seed algos.(i) (fun () -> make_instance ~seed))
+      done);
+  Array.map
+    (* parallel_for filled every cell before returning — lint: ok *)
+    (Array.map (function Some m -> m | None -> assert false))
+    grid
+
+let aggregate (grid : measurement array array) =
+  let trials = Array.length grid in
+  assert (trials >= 1);
+  let n_alg = Array.length grid.(0) in
   let stats =
-    List.map (fun a -> (a, Stats.create (), Stats.create (), Stats.create ()))
-      algorithms
+    Array.init n_alg (fun i ->
+        (grid.(0).(i).algorithm, Stats.create (), Stats.create (),
+         Stats.create ()))
   in
-  for seed = 1 to trials do
-    List.iter
-      (fun (algorithm, s_max, s_time, s_mem) ->
-        let m = measure ~seed algorithm (fun () -> make_instance ~seed) in
-        Stats.add s_max m.maxsum;
-        Stats.add s_time m.wall_s;
-        Stats.add s_mem (float_of_int m.live_bytes))
-      stats
+  (* Accumulate in (trial, algorithm) order — the sequential order — so the
+     float means are byte-identical however the grid was filled. *)
+  for t = 0 to trials - 1 do
+    for i = 0 to n_alg - 1 do
+      let m = grid.(t).(i) in
+      let _, s_max, s_time, s_mem = stats.(i) in
+      Stats.add s_max m.maxsum;
+      Stats.add s_time m.wall_s;
+      Stats.add s_mem (float_of_int m.live_bytes)
+    done
   done;
-  List.map
-    (fun (algorithm, s_max, s_time, s_mem) ->
-      {
-        algorithm;
-        trials;
-        mean_maxsum = Stats.mean s_max;
-        mean_wall_s = Stats.mean s_time;
-        mean_live_bytes = Stats.mean s_mem;
-      })
-    stats
+  Array.to_list
+    (Array.map
+       (fun (algorithm, s_max, s_time, s_mem) ->
+         {
+           algorithm;
+           trials;
+           mean_maxsum = Stats.mean s_max;
+           mean_wall_s = Stats.mean s_time;
+           mean_live_bytes = Stats.mean s_mem;
+         })
+       stats)
+
+let average ?jobs ~trials ~make_instance algorithms =
+  aggregate (measure_grid ?jobs ~trials ~make_instance algorithms)
 
 let metric which agg =
   match which with

@@ -31,14 +31,34 @@ type aggregate = {
   mean_live_bytes : float;
 }
 
+val measure_grid :
+  ?jobs:int ->
+  trials:int ->
+  make_instance:(seed:int -> Geacc_core.Instance.t) ->
+  Geacc_core.Solver.algorithm list ->
+  measurement array array
+(** [measure_grid ~trials ~make_instance algos] measures every algorithm on
+    [trials] instances (seeds 1..trials); element [(t)(i)] is trial [t+1] of
+    the [i]-th algorithm. Trials are distributed over the domain pool
+    ([jobs] defaults to {!Geacc_par.Pool.default_jobs}); each trial's seed
+    is a function of its index alone, so the grid's contents — modulo wall
+    times and worker-domain memory readings, see
+    {!Geacc_util.Measure.run_with_peak} — do not depend on the job count. *)
+
+val aggregate : measurement array array -> aggregate list
+(** Per-algorithm means of a {!measure_grid} result, folding trials in
+    ascending-seed order so the float sums are byte-identical regardless of
+    the job count that produced the grid. *)
+
 val average :
+  ?jobs:int ->
   trials:int ->
   make_instance:(seed:int -> Geacc_core.Instance.t) ->
   Geacc_core.Solver.algorithm list ->
   aggregate list
 (** [average ~trials ~make_instance algos] builds [trials] instances with
     seeds 1..trials and measures every algorithm on each; per-algorithm
-    means, in the order given. *)
+    means, in the order given. [{!aggregate} ∘ {!measure_grid}]. *)
 
 val metric :
   [ `Maxsum | `Time_ms | `Memory_mb ] -> aggregate -> float

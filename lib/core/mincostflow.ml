@@ -2,6 +2,7 @@ module Graph = Geacc_flow.Graph
 module Mcf = Geacc_flow.Mcf
 module Audit = Geacc_check.Audit
 module Fault = Geacc_robust.Fault
+module Pool = Geacc_par.Pool
 
 type stats = {
   flow_value : int;
@@ -13,7 +14,7 @@ type stats = {
 
 (* Node layout: 0 = source; 1..|V| = events; |V|+1..|V|+|U| = users; last =
    sink. *)
-let build_network instance =
+let build_network ?jobs instance =
   (* [mcf.alloc] simulates the network arena failing to materialise (the
      Θ(|V|·|U|) arc array is this solver's dominant allocation); the
      fallback harness treats the injected exception as a transient fault. *)
@@ -24,19 +25,44 @@ let build_network instance =
   let user_node u = 1 + n_v + u in
   let sink = 1 + n_v + n_u in
   let g = Graph.create ~num_nodes:(sink + 1) in
+  Graph.reserve g ~arcs:(n_v + (n_v * n_u) + n_u);
   for v = 0 to n_v - 1 do
     ignore
       (Graph.add_arc g ~src:source ~dst:(event_node v)
          ~capacity:(Instance.event_capacity instance v) ~cost:0.)
   done;
+  (* The Θ(|V|·|U|) cost table is computed in parallel per user-chunk into
+     pre-sized chunk-local buffers (v-major within the chunk). An active
+     fault plan forces the sequential path so the sim.* hit counters replay
+     in the exact order the plan was written against. *)
+  let jobs = if Fault.active () then Some 1 else jobs in
+  let cost_chunks =
+    Pool.parallel_map_chunked ?jobs ~n:n_u (fun ~lo ~hi ->
+        let width = hi - lo in
+        let buf = Array.make (n_v * width) 0. in
+        for v = 0 to n_v - 1 do
+          let base = v * width in
+          for u = lo to hi - 1 do
+            buf.(base + u - lo) <- 1. -. Instance.sim instance ~v ~u
+          done
+        done;
+        (lo, width, buf))
+  in
   (* One arc per (v,u) pair, zero-similarity pairs included, as in the
-     paper's construction. *)
+     paper's construction. Emission is sequential and v-major with u
+     ascending (chunks are contiguous and ordered), so arc ids — and
+     therefore the SSP pivoting order — are identical for every job
+     count. *)
   let vu_arc = Array.make (n_v * n_u) (-1) in
   for v = 0 to n_v - 1 do
-    for u = 0 to n_u - 1 do
-      let cost = 1. -. Instance.sim instance ~v ~u in
-      vu_arc.((v * n_u) + u) <-
-        Graph.add_arc g ~src:(event_node v) ~dst:(user_node u) ~capacity:1 ~cost
+    for c = 0 to Array.length cost_chunks - 1 do
+      let lo, width, buf = cost_chunks.(c) in
+      for du = 0 to width - 1 do
+        let u = lo + du in
+        vu_arc.((v * n_u) + u) <-
+          Graph.add_arc g ~src:(event_node v) ~dst:(user_node u) ~capacity:1
+            ~cost:buf.((v * width) + du)
+      done
     done
   done;
   for u = 0 to n_u - 1 do
@@ -46,9 +72,9 @@ let build_network instance =
   done;
   (g, source, sink, vu_arc)
 
-let solve_with_stats ?deadline instance =
+let solve_with_stats ?deadline ?jobs instance =
   let n_u = Instance.n_users instance in
-  let g, source, sink, vu_arc = build_network instance in
+  let g, source, sink, vu_arc = build_network ?jobs instance in
   (* A unit of flow adds 1 - path_cost to MaxSum; path costs only grow, so
      stopping before the first non-improving unit lands on the Δ with the
      largest MaxSum (the paper's argmax over Δ_min..Δ_max). *)
@@ -119,4 +145,5 @@ let solve_with_stats ?deadline instance =
       timed_out = outcome.Mcf.timed_out;
     } )
 
-let solve ?deadline instance = fst (solve_with_stats ?deadline instance)
+let solve ?deadline ?jobs instance =
+  fst (solve_with_stats ?deadline ?jobs instance)

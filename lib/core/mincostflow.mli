@@ -30,10 +30,28 @@ type stats = {
                                 is feasible but may miss the argmax Δ. *)
 }
 
-val solve : ?deadline:Geacc_robust.Budget.t -> Instance.t -> Matching.t
+val build_network :
+  ?jobs:int -> Instance.t -> Geacc_flow.Graph.t * int * int * int array
+(** The Step-1 network: [(g, source, sink, vu_arc)] with
+    [vu_arc.((v * |U|) + u)] the forward arc id of pair [(v,u)]. [jobs]
+    (default {!Geacc_par.Pool.default_jobs}) parallelises the Θ(|V|·|U|)
+    similarity/cost table per user-chunk; arc emission stays sequential, so
+    arc ids — and hence the SSP pivoting order and the final flow — are
+    byte-identical for every job count. When a fault plan is active the
+    table is computed sequentially so [sim.*] hit counters replay in plan
+    order. Exposed for the determinism tests and audits.
+    @raise Geacc_robust.Fault.Injected when the [mcf.alloc] point fires. *)
+
+val solve :
+  ?deadline:Geacc_robust.Budget.t -> ?jobs:int -> Instance.t -> Matching.t
 (** [deadline] (default: unlimited) is polled between augmentations of the
     underlying SSP loop; on expiry the partial flow — a valid min-cost flow
-    of its own amount — is resolved into a feasible matching as usual. *)
+    of its own amount — is resolved into a feasible matching as usual.
+    [jobs] is passed to {!build_network}; the solve itself is sequential
+    and its output independent of the job count. *)
 
 val solve_with_stats :
-  ?deadline:Geacc_robust.Budget.t -> Instance.t -> Matching.t * stats
+  ?deadline:Geacc_robust.Budget.t ->
+  ?jobs:int ->
+  Instance.t ->
+  Matching.t * stats

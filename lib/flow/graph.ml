@@ -43,6 +43,11 @@ let ensure_capacity t needed =
     t.cost_ <- grow_float t.cost_
   end
 
+let reserve t ~arcs =
+  assert (arcs >= 0);
+  (* Every add_arc consumes two slots (forward + residual partner). *)
+  ensure_capacity t (t.count + (2 * arcs))
+
 let add_half t ~src ~dst ~capacity ~cost =
   let a = t.count in
   ensure_capacity t (a + 1);

@@ -19,6 +19,12 @@ val node_count : t -> int
 val arc_count : t -> int
 (** Number of arcs including residual partners (always even). *)
 
+val reserve : t -> arcs:int -> unit
+(** Pre-sizes the arc store for [arcs] further {!add_arc} calls (each takes
+    two slots: forward + residual partner), so a bulk construction pays one
+    allocation instead of a doubling cascade. Purely an optimisation — arc
+    ids and contents are unaffected. *)
+
 val add_arc : t -> src:int -> dst:int -> capacity:int -> cost:float -> arc
 (** Adds a forward arc and its residual partner; returns the forward arc id.
     Requires [capacity >= 0] and valid node ids. *)

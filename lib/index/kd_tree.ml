@@ -1,3 +1,5 @@
+module Pool = Geacc_par.Pool
+
 type node = {
   lo : Point.t;
   hi : Point.t;
@@ -21,20 +23,27 @@ let widest_dimension lo hi =
   done;
   !best
 
+(* One comparator shared by the sequential build and the parallel
+   skeleton, so the median split is bit-for-bit the same on both paths. *)
+let sort_along points dim idxs =
+  Array.sort (* construction phase — alloc: ok *)
+    (fun i j ->
+      let c = Float.compare points.(i).(dim) points.(j).(dim) in
+      if c <> 0 then c else Int.compare i j)
+    idxs
+
 let rec build_node points leaf_size idxs =
   let d = Array.length points.(idxs.(0)) in
+  (* Construction phase: per-node boxes are the point. alloc: ok *)
   let lo = Array.make d 0. and hi = Array.make d 0. in
   Point.bounding_box points idxs ~lo ~hi;
   (* Construction phase: one node per subtree is the point. alloc: ok *)
   if Array.length idxs <= leaf_size then { lo; hi; kind = Leaf idxs }
   else begin
     let dim = widest_dimension lo hi in
-    Array.sort (* construction phase — alloc: ok *)
-      (fun i j ->
-        let c = Float.compare points.(i).(dim) points.(j).(dim) in
-        if c <> 0 then c else Int.compare i j)
-      idxs;
+    sort_along points dim idxs;
     let mid = Array.length idxs / 2 in
+    (* Construction phase: index slices per subtree. alloc: ok *)
     let left = build_node points leaf_size (Array.sub idxs 0 mid) in
     let right =
       build_node points leaf_size
@@ -44,15 +53,108 @@ let rec build_node points leaf_size idxs =
     { lo; hi; kind = Inner (left, right) }
   end
 
-let build ?(leaf_size = 16) points =
+(* Parallel bulk build: the top of the tree (the "skeleton") is split
+   sequentially with the exact median-split of [build_node]; once a subtree
+   falls below the fork cutoff it becomes a task, and the tasks — each an
+   ordinary sequential [build_node] over its own index slice — run across
+   the domain pool. Because every node's box, split dimension and median
+   are pure functions of its index slice, the finished tree is structurally
+   identical for every job count. *)
+type skeleton =
+  | S_task of int
+  | S_inner of { lo : Point.t; hi : Point.t; left : skeleton; right : skeleton }
+
+let build_root_parallel points leaf_size idxs ~jobs =
+  let tasks = ref [] and n_tasks = ref 0 in
+  (* Fork subtree tasks above this size; below it, forking overhead beats
+     the work. The cutoff does not influence the resulting tree. *)
+  let cutoff = Stdlib.max leaf_size 512 in
+  let rec skeleton idxs =
+    if Array.length idxs <= cutoff then begin
+      let slot = !n_tasks in
+      incr n_tasks;
+      (* Construction phase: task list cell per fork. alloc: ok *)
+      tasks := (slot, idxs) :: !tasks;
+      S_task slot (* one leaf marker per fork — alloc: ok *)
+    end
+    else begin
+      let d = Array.length points.(idxs.(0)) in
+      (* Construction phase: per-node boxes are the point. alloc: ok *)
+      let lo = Array.make d 0. and hi = Array.make d 0. in
+      Point.bounding_box points idxs ~lo ~hi;
+      let dim = widest_dimension lo hi in
+      sort_along points dim idxs;
+      let mid = Array.length idxs / 2 in
+      (* Construction phase: index slices per subtree. alloc: ok *)
+      let left = skeleton (Array.sub idxs 0 mid) in
+      let right = skeleton (Array.sub idxs mid (Array.length idxs - mid)) in
+      (* Construction phase: one skeleton node per fork point. alloc: ok *)
+      S_inner { lo; hi; left; right }
+    end
+  in
+  let sk = skeleton idxs in
+  let slices = Array.make !n_tasks [||] in
+  List.iter (fun (slot, slice) -> slices.(slot) <- slice) !tasks;
+  let built = Array.make !n_tasks None in
+  Pool.parallel_for ~jobs ~n:!n_tasks (fun t ->
+      (* One subtree per task is the work itself. alloc: ok *)
+      built.(t) <- Some (build_node points leaf_size slices.(t)));
+  let rec fill = function
+    | S_task t ->
+        (* parallel_for filled every slot before returning — lint: ok *)
+        (match built.(t) with Some n -> n | None -> assert false)
+    | S_inner { lo; hi; left; right } ->
+        (* Construction phase: one node per fork point. alloc: ok *)
+        { lo; hi; kind = Inner (fill left, fill right) }
+  in
+  fill sk
+
+let build ?(leaf_size = 16) ?jobs points =
   assert (leaf_size >= 1);
   if Array.length points = 0 then { points; root = None }
   else begin
     let d = Array.length points.(0) in
     Array.iter (fun p -> assert (Array.length p = d)) points;
-    let idxs = Array.init (Array.length points) (fun i -> i) in
-    { points; root = Some (build_node points leaf_size idxs) }
+    let n = Array.length points in
+    let idxs = Array.init n (fun i -> i) in
+    let jobs = Pool.resolve_jobs ?jobs () in
+    let root =
+      (* Below ~2 fork cutoffs there is nothing to fork. *)
+      if jobs = 1 || n <= 2 * Stdlib.max leaf_size 512 then
+        build_node points leaf_size idxs
+      else build_root_parallel points leaf_size idxs ~jobs
+    in
+    { points; root = Some root }
   end
+
+(* Structural fingerprint for the determinism tests: hex floats and leaf
+   index lists make byte-identical claims checkable as string equality. *)
+let dump t =
+  let b = Buffer.create 1024 in
+  let box p =
+    Array.iter (fun x -> Buffer.add_string b (Printf.sprintf "%h;" x)) p
+  in
+  let rec node n =
+    Buffer.add_char b '[';
+    box n.lo;
+    Buffer.add_char b '|';
+    box n.hi;
+    Buffer.add_char b ']';
+    match n.kind with
+    | Leaf idxs ->
+        Buffer.add_string b "L(";
+        (* Debug/test-only rendering, never on a solver path. alloc: ok *)
+        Array.iter (fun i -> Buffer.add_string b (Printf.sprintf "%d," i)) idxs;
+        Buffer.add_char b ')'
+    | Inner (l, r) ->
+        Buffer.add_string b "I(";
+        node l;
+        Buffer.add_char b ',';
+        node r;
+        Buffer.add_char b ')'
+  in
+  (match t.root with None -> Buffer.add_string b "empty" | Some r -> node r);
+  Buffer.contents b
 
 let size t = Array.length t.points
 let point t i = t.points.(i)

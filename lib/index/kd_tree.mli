@@ -13,10 +13,23 @@
 
 type t
 
-val build : ?leaf_size:int -> Point.t array -> t
+val build : ?leaf_size:int -> ?jobs:int -> Point.t array -> t
 (** Builds over the (not copied) array; O(n log² n). [leaf_size] is the
     bucket size at leaves (default 16; must be >= 1). All points must share
-    one dimension. *)
+    one dimension.
+
+    [jobs] (default {!Geacc_par.Pool.default_jobs}) parallelises the bulk
+    build: the top of the tree is split sequentially with the usual median
+    split, and subtrees below a fork cutoff are built concurrently on the
+    domain pool. Every node's bounding box, split dimension and median are
+    functions of its index slice alone, so the resulting tree — and every
+    traversal of it — is byte-identical for any job count. *)
+
+val dump : t -> string
+(** Structural fingerprint: a DFS rendering with hex-float boxes and leaf
+    index lists. Two trees over the same points are structurally identical
+    iff their dumps are equal — the determinism tests compare these across
+    job counts. *)
 
 val size : t -> int
 val point : t -> int -> Point.t

@@ -27,7 +27,16 @@ val run : (unit -> 'a) -> 'a * sample
 val run_with_peak : (unit -> 'a) -> 'a * int
 (** [run_with_peak f] returns [f ()] and the peak live-heap growth in bytes
     observed during the call (at major-collection boundaries and at
-    return). *)
+    return).
+
+    Multi-domain caveat: the sampler thread and its forced major GCs run
+    only when called from the main domain. On a pool worker domain the
+    function degrades to a cheap [Gc.stat] live-words delta — no sampler,
+    no [Gc.full_major] (which would stop the whole pool) — because the GC
+    counters are process-wide and concurrent domains would otherwise be
+    charged to this run. Peaks measured on worker domains are therefore
+    underestimates; for faithful peaks, measure from the main domain with
+    the pool idle. *)
 
 val live_bytes : unit -> int
 (** Current live heap in bytes after a forced major collection. *)

@@ -1,7 +1,8 @@
 geacc_analyze over .cmt fixtures compiled directly with ocamlc -bin-annot.
 The trees mimic the repo layout: the hot-loop rules fire only for files
-under lib/flow, lib/pqueue and lib/index/kd_tree; unsafe_* reachability is
-checked for everything under lib/ and bin/ except lib/check.
+under lib/flow, lib/pqueue, lib/index/kd_tree and lib/par; unsafe_*
+reachability is checked for everything under lib/ and bin/ except
+lib/check.
 
 A hot module allocating per iteration: a ref cell and a callback closure in
 a while body, a boxed float let-bound in a let rec body, and two small
@@ -116,6 +117,34 @@ nothing to the allocation rules, so the diagnostic survives:
     {"file": "proj4/lib/pqueue/wrong_tag.ml", "line": 4, "col": 15, "rule": "hot-loop-alloc", "message": "a ref cell is allocated on every iteration of this hot loop; hoist the ref out of the loop"}
   ]
   [1]
+
+A parallel_for chunk body runs once per chunk, so it is hot-loop context in
+lib/par: a closure allocated inside the chunk body is flagged, while the
+chunk-body lambda itself (allocated once per parallel_for call) is not.
+The same chunk body under a non-hot directory stays unflagged:
+
+  $ mkdir -p proj6/lib/par proj6/lib/model
+  $ cat > proj6/lib/par/chunky.ml <<'EOF'
+  > let parallel_for ~n body =
+  >   for c = 0 to n - 1 do
+  >     body c
+  >   done
+  > 
+  > let sum_rows rows out =
+  >   parallel_for ~n:(Array.length rows) (fun c ->
+  >       let total = ref 0 in
+  >       Array.iter (fun x -> total := !total + x) rows.(c);
+  >       out.(c) <- !total)
+  > EOF
+  $ ocamlc -bin-annot -c proj6/lib/par/chunky.ml
+  $ geacc_analyze proj6
+  proj6/lib/par/chunky.ml:8:18: [hot-loop-alloc] a ref cell is allocated on every iteration of this hot loop; hoist the ref out of the loop
+  proj6/lib/par/chunky.ml:9:17: [hot-loop-alloc] a closure is allocated on every iteration of this hot loop; hoist it out of the loop or iterate without a callback
+  [1]
+  $ cp proj6/lib/par/chunky.ml proj6/lib/model/cold.ml
+  $ ocamlc -bin-annot -c proj6/lib/model/cold.ml
+  $ geacc_analyze proj6/lib/model
+  geacc_analyze: clean
 
 A hot module whose loops keep all state in pre-allocated arrays and
 hoisted refs is clean:

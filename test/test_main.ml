@@ -19,5 +19,6 @@ let () =
       ("io", Test_io.suite);
       ("bench-util", Test_bench_util.suite);
       ("robust", Test_robust.suite);
+      ("par", Test_par.suite);
       ("fuzz", Test_fuzz.suite);
     ]

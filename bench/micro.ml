@@ -115,6 +115,17 @@ let mcf_build_test ~jobs =
          let instance = Lazy.force mcf_instance in
          ignore (Geacc_core.Mincostflow.build_network ~jobs instance)))
 
+(* Dense vs similarity-pruned construction at jobs=1, isolating the
+   network-build strategies the solver chooses between. *)
+let mcf_build_network_test network =
+  Test.make
+    ~name:
+      (Printf.sprintf "MCF %s network build (100x1000)"
+         (Geacc_core.Mincostflow.network_name network))
+    (Staged.stage (fun () ->
+         let instance = Lazy.force mcf_instance in
+         ignore (Geacc_core.Mincostflow.build_network ~jobs:1 ~network instance)))
+
 let kd_build_points =
   lazy
     (Array.init 50_000 (fun i ->
@@ -156,6 +167,8 @@ let tests =
       kd_test;
       mcf_build_test ~jobs:1;
       mcf_build_test ~jobs:4;
+      mcf_build_network_test Geacc_core.Mincostflow.Dense;
+      mcf_build_network_test Geacc_core.Mincostflow.Sparse;
       kd_build_test ~jobs:1;
       kd_build_test ~jobs:4;
     ]

@@ -71,6 +71,64 @@ module Flow = struct
       failf ~site "source deficit %d does not match sink excess %d"
         (-net.(source)) net.(sink)
 
+  let check_csr ~site g =
+    if not (G.csr_valid g) then
+      fail ~site "CSR form is stale (arcs added since finalize_csr)";
+    let n = G.node_count g and m = G.arc_count g in
+    (* Offsets: monotone, starting at 0, covering exactly the arc store. *)
+    if n > 0 && G.out_begin g 0 <> 0 then
+      failf ~site "CSR offset of node 0 is %d, expected 0" (G.out_begin g 0);
+    for v = 0 to n - 1 do
+      if G.out_end g v < G.out_begin g v then
+        failf ~site "CSR offsets of node %d decrease: [%d, %d)" v
+          (G.out_begin g v) (G.out_end g v);
+      if v < n - 1 && G.out_end g v <> G.out_begin g (v + 1) then
+        failf ~site "CSR offsets leave a gap after node %d: %d <> %d" v
+          (G.out_end g v)
+          (G.out_begin g (v + 1))
+    done;
+    if n > 0 && G.out_end g (n - 1) <> m then
+      failf ~site "CSR offsets cover %d positions, expected %d arcs"
+        (G.out_end g (n - 1))
+        m;
+    (* Positions: a permutation of the arc ids, each agreeing with the arc
+       store on src/dst/cost, with the positional residual capacity
+       mirroring the arc-indexed one. *)
+    let seen = Array.make (Stdlib.max m 1) false in
+    for v = 0 to n - 1 do
+      for p = G.out_begin g v to G.out_end g v - 1 do
+        let a = G.pos_arc g p in
+        if a < 0 || a >= m then
+          failf ~site "CSR position %d stores invalid arc id %d" p a;
+        if seen.(a) then
+          failf ~site "arc %d appears at two CSR positions" a;
+        seen.(a) <- true;
+        if G.arc_position g a <> p then
+          failf ~site "arc %d maps to position %d, stored at %d" a
+            (G.arc_position g a) p;
+        if G.src g a <> v then
+          failf ~site "CSR position %d (node %d) stores arc %d of node %d" p
+            v a (G.src g a);
+        if G.pos_dst g p <> G.dst g a then
+          failf ~site "CSR position %d: dst %d <> arc %d's dst %d" p
+            (G.pos_dst g p) a (G.dst g a);
+        if
+          Int64.bits_of_float (G.pos_cost g p)
+          <> Int64.bits_of_float (G.cost g a)
+        then
+          failf ~site "CSR position %d: cost %h <> arc %d's cost %h" p
+            (G.pos_cost g p) a (G.cost g a);
+        if G.pos_residual_capacity g p <> G.residual_capacity g a then
+          failf ~site
+            "CSR position %d: residual capacity %d out of sync with arc %d \
+             (%d)"
+            p
+            (G.pos_residual_capacity g p)
+            a
+            (G.residual_capacity g a)
+      done
+    done
+
   let slack = 1e-6
 
   let check_reduced_costs ~site g ~potential =

@@ -58,6 +58,16 @@ module Flow : sig
   (** Johnson reduced cost [cost a + pi(src a) - pi(dst a)] is non-negative
       (within floating-point slack) on every arc with residual capacity —
       the precondition for running Dijkstra on the residual network. *)
+
+  val check_csr :
+    site:string -> Geacc_flow.Graph.t -> unit
+  (** The CSR form is current and faithful: offsets are monotone and tile
+      [\[0, arc_count)], positions are a permutation of the arc ids whose
+      dst/cost agree bitwise with the arc store, and the positional
+      residual capacities mirror the arc-indexed ones (the invariant
+      {!Geacc_flow.Graph.push} maintains in place). Fails when
+      {!Geacc_flow.Graph.csr_valid} is false — run it only after
+      [finalize_csr]. *)
 end
 
 (** Priority-queue structural invariants. *)

@@ -186,6 +186,60 @@ let event_neighbor t ~v ~rank =
 let user_neighbor t ~u ~rank =
   neighbor t (user_source t) ~query_is_event:false ~node:u ~rank
 
+let prepare_event_queries t = ignore (event_source t : source)
+
+(* Similarity-pruned candidate set of one event, for the sparse network
+   builder: every user with [sim > 0] (and [>= min_sim]), ascending user
+   id. Unlike [event_neighbor] this touches no per-node caches — the
+   indexed path opens a fresh stream per call and the scanned path computes
+   directly — so after [prepare_event_queries] has forced the shared
+   (read-only) index, concurrent calls from pool workers are safe.
+
+   The indexed path recovers similarities through the distance profile,
+   whose contract ([sim_of_dist (dist lv lu) = eval lv lu]) makes them
+   bitwise-identical to [sim t ~v ~u]; monotonicity lets the collection
+   stop at the first rank whose similarity falls below the gate. *)
+let candidate_users t ~v ~min_sim =
+  match t.event_queries with
+  | None ->
+      invalid_arg "Instance.candidate_users: call prepare_event_queries first"
+  | Some (Indexed { profile; index; streams = _ }) ->
+      let stream =
+        index.Nn_backend.stream ~query:t.events.(v).Entity.attrs
+          ~max_dist:profile.Similarity.cutoff
+      in
+      let acc = ref [] and count = ref 0 in
+      let rec go rank =
+        match stream.Nn_backend.get rank with
+        | None -> ()
+        | Some (u, dist) ->
+            let s = profile.Similarity.sim_of_dist dist in
+            if s > 0. && s >= min_sim then begin
+              acc := (u, s) :: !acc;
+              incr count;
+              go (rank + 1)
+            end
+      in
+      go 1;
+      let a = Array.make !count (0, 0.) in
+      List.iter
+        (fun c ->
+          decr count;
+          a.(!count) <- c)
+        !acc;
+      (* Streams yield descending similarity; arc emission wants ascending
+         user id. *)
+      Array.sort (fun (u1, _) (u2, _) -> Int.compare u1 u2) a;
+      a
+  | Some (Scanned _) ->
+      let n = n_users t in
+      let acc = ref [] in
+      for u = n - 1 downto 0 do
+        let s = sim t ~v ~u in
+        if s > 0. && s >= min_sim then acc := (u, s) :: !acc
+      done;
+      Array.of_list !acc
+
 let side_work = function
   | None -> 0
   | Some (Indexed { streams; _ }) ->

@@ -59,6 +59,20 @@ val event_neighbor : t -> v:int -> rank:int -> (int * float) option
 val user_neighbor : t -> u:int -> rank:int -> (int * float) option
 (** Symmetric: the [rank]-th most similar event of user [u]. *)
 
+val prepare_event_queries : t -> unit
+(** Forces the event-side neighbour source (for indexed similarities: the
+    NN index over the users) so that subsequent {!candidate_users} calls
+    only read shared state. Must run before querying candidates from pool
+    workers — the lazy initialisation itself is not thread-safe. *)
+
+val candidate_users : t -> v:int -> min_sim:float -> (int * float) array
+(** The similarity-pruned candidate users of event [v]: every [(u, s)] with
+    [s = sim t ~v ~u], [s > 0] and [s >= min_sim], in ascending user id.
+    Similarities are bitwise-identical to {!sim} (when no fault plan is
+    poisoning it). Unlike {!event_neighbor} this writes no per-node caches:
+    after {!prepare_event_queries}, concurrent calls are safe.
+    @raise Invalid_argument before {!prepare_event_queries} has run. *)
+
 val with_backend : t -> Geacc_index.Nn_backend.t -> t
 (** Same instance data served by a different NN backend, with fresh (cold)
     neighbour caches. The original is untouched. *)

@@ -1,23 +1,42 @@
 type stats = { rounds : int; moves_accepted : int; gained : float }
 
 (* Best feasible pair touching event [v] or user [u] — excluding the
-   banned pair — by (sim, v, u) order. *)
+   banned pair — by (sim, v, u) order.
+
+   Candidates come from the instance's NN-index neighbour streams (the same
+   query the sparse flow builder uses), which enumerate exactly the
+   positive-similarity counterparts in descending similarity with ties by
+   id — so zero-similarity pairs, never feasible, are skipped up front, and
+   each side's scan can stop as soon as the stream similarity falls
+   strictly below the incumbent's (later ranks only get worse). The
+   (s, v, u)-max over distinct pairs is unique, so the result is identical
+   to the former full |V|+|U| scan. *)
 let best_incident m instance ~banned ~v ~u =
   let best = ref None in
-  let consider v' u' =
-    if (v', u') <> banned && Matching.check_add m ~v:v' ~u:u' = None then begin
-      let s = Instance.sim instance ~v:v' ~u:u' in
+  let consider v' u' s =
+    if (v', u') <> banned && Matching.check_add m ~v:v' ~u:u' = None then
       match !best with
       | Some (s0, v0, u0) when (s0, -v0, -u0) >= (s, -v', -u') -> ()
       | _ -> best := Some (s, v', u')
-    end
   in
-  for u' = 0 to Instance.n_users instance - 1 do
-    consider v u'
-  done;
-  for v' = 0 to Instance.n_events instance - 1 do
-    consider v' u
-  done;
+  let scan next pair_of =
+    let rec go rank =
+      match next ~rank with
+      | None -> ()
+      | Some (j, s) ->
+          let beaten =
+            match !best with Some (s0, _, _) -> s < s0 | None -> false
+          in
+          if not beaten then begin
+            let v', u' = pair_of j in
+            consider v' u' s;
+            go (rank + 1)
+          end
+    in
+    go 1
+  in
+  scan (fun ~rank -> Instance.event_neighbor instance ~v ~rank) (fun j -> (v, j));
+  scan (fun ~rank -> Instance.user_neighbor instance ~u ~rank) (fun j -> (j, u));
   !best
 
 (* One replace move: pull (v,u) out, refill greedily from the incident
@@ -48,12 +67,28 @@ let try_replace m instance ~v ~u =
 let add_all_feasible m instance =
   let added = ref 0 in
   for v = 0 to Instance.n_events instance - 1 do
-    if Matching.remaining_event_capacity m v > 0 then
-      for u = 0 to Instance.n_users instance - 1 do
-        match Matching.add m ~v ~u with
-        | Ok _ -> incr added
-        | Error _ -> ()
-      done
+    if Matching.remaining_event_capacity m v > 0 then begin
+      (* Only positive-similarity users can ever be added; enumerate them
+         through the neighbour stream instead of scanning all of |U|, then
+         restore the ascending-user order the full scan attempted adds
+         in. *)
+      let candidates = ref [] in
+      let rec collect rank =
+        match Instance.event_neighbor instance ~v ~rank with
+        | None -> ()
+        | Some (u, _) ->
+            candidates := u :: !candidates;
+            collect (rank + 1)
+      in
+      collect 1;
+      let sorted = List.sort Int.compare !candidates in
+      List.iter
+        (fun u ->
+          match Matching.add m ~v ~u with
+          | Ok _ -> incr added
+          | Error _ -> ())
+        sorted
+    end
   done;
   !added
 

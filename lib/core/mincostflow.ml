@@ -4,82 +4,222 @@ module Audit = Geacc_check.Audit
 module Fault = Geacc_robust.Fault
 module Pool = Geacc_par.Pool
 
+type network = Dense | Sparse
+
+let network_name = function Dense -> "dense" | Sparse -> "sparse"
+
+let network_of_string s =
+  match String.lowercase_ascii s with
+  | "dense" -> Ok Dense
+  | "sparse" -> Ok Sparse
+  | s -> Error (Printf.sprintf "unknown network %S (expected dense or sparse)" s)
+
+(* Process-wide defaults, settable by front ends (mirrors
+   [Pool.set_default_jobs]): explicit arguments always win. *)
+let network_default = ref Sparse
+let min_sim_default = ref 0.
+let default_network () = !network_default
+let set_default_network n = network_default := n
+let default_min_sim () = !min_sim_default
+
+let set_default_min_sim s =
+  if not (s >= 0. && s <= 1.) then
+    invalid_arg "Mincostflow.set_default_min_sim: threshold outside [0, 1]";
+  min_sim_default := s
+
+type net = {
+  graph : Graph.t;
+  source : int;
+  sink : int;
+  pair_arcs : int;
+  dense_pairs : int;
+  network_used : network;
+}
+
 type stats = {
   flow_value : int;
   flow_cost : float;
   augmentations : int;
   dropped_pairs : int;
+  pair_arcs : int;
+  dense_pairs : int;
   timed_out : bool;
 }
 
 (* Node layout: 0 = source; 1..|V| = events; |V|+1..|V|+|U| = users; last =
    sink. *)
-let build_network ?jobs instance =
+
+(* Sparse-build audit: every (v,u) pair the candidate queries pruned must be
+   provably below the similarity gate — an index bug that silently drops a
+   matchable pair would otherwise only show up as a worse MaxSum. *)
+let audit_pruned_pairs ~site instance g ~min_sim ~n_v ~n_u =
+  let emitted = Array.make (Stdlib.max (n_v * n_u) 1) false in
+  Graph.fold_forward_arcs g ~init:() ~f:(fun () a ->
+      let s = Graph.src g a and d = Graph.dst g a in
+      if s >= 1 && s <= n_v && d > n_v && d <= n_v + n_u then
+        emitted.(((s - 1) * n_u) + (d - 1 - n_v)) <- true);
+  for v = 0 to n_v - 1 do
+    for u = 0 to n_u - 1 do
+      if not emitted.((v * n_u) + u) then begin
+        let s = Instance.sim instance ~v ~u in
+        if s > 0. && s >= min_sim then
+          Audit.failf ~site
+            "pruned pair (%d,%d) has similarity %.17g above the gate \
+             (min_sim %.17g)"
+            v u s min_sim
+      end
+    done
+  done
+
+let build_network ?jobs ?network ?min_sim instance =
   (* [mcf.alloc] simulates the network arena failing to materialise (the
-     Θ(|V|·|U|) arc array is this solver's dominant allocation); the
-     fallback harness treats the injected exception as a transient fault. *)
+     arc array is this solver's dominant allocation); the fallback harness
+     treats the injected exception as a transient fault. *)
   Fault.inject "mcf.alloc";
+  let network =
+    match network with Some n -> n | None -> !network_default
+  in
+  let min_sim =
+    match min_sim with Some s -> s | None -> !min_sim_default
+  in
+  if not (min_sim >= 0. && min_sim <= 1.) then
+    invalid_arg "Mincostflow.build_network: min_sim outside [0, 1]";
+  (* An active fault plan forces the dense sequential path: the sparse
+     builder never evaluates [Instance.sim] (a poisoned value would just
+     vanish into the pruned set), so replaying a [sim.*] plan in written
+     order requires the dense table, computed sequentially. *)
+  let fault = Fault.active () in
+  let network = if fault then Dense else network in
+  let jobs = if fault then Some 1 else jobs in
   let n_v = Instance.n_events instance and n_u = Instance.n_users instance in
   let source = 0 in
   let event_node v = 1 + v in
   let user_node u = 1 + n_v + u in
   let sink = 1 + n_v + n_u in
   let g = Graph.create ~num_nodes:(sink + 1) in
-  Graph.reserve g ~arcs:(n_v + (n_v * n_u) + n_u);
-  for v = 0 to n_v - 1 do
-    ignore
-      (Graph.add_arc g ~src:source ~dst:(event_node v)
-         ~capacity:(Instance.event_capacity instance v) ~cost:0.)
-  done;
-  (* The Θ(|V|·|U|) cost table is computed in parallel per user-chunk into
-     pre-sized chunk-local buffers (v-major within the chunk). An active
-     fault plan forces the sequential path so the sim.* hit counters replay
-     in the exact order the plan was written against. *)
-  let jobs = if Fault.active () then Some 1 else jobs in
-  let cost_chunks =
-    Pool.parallel_map_chunked ?jobs ~n:n_u (fun ~lo ~hi ->
-        let width = hi - lo in
-        let buf = Array.make (n_v * width) 0. in
+  let pair_arcs =
+    match network with
+    | Dense ->
+        Graph.reserve g ~arcs:(n_v + (n_v * n_u) + n_u);
         for v = 0 to n_v - 1 do
-          let base = v * width in
-          for u = lo to hi - 1 do
-            buf.(base + u - lo) <- 1. -. Instance.sim instance ~v ~u
+          ignore
+            (Graph.add_arc g ~src:source ~dst:(event_node v)
+               ~capacity:(Instance.event_capacity instance v) ~cost:0.)
+        done;
+        (* The Θ(|V|·|U|) cost table is computed in parallel per user-chunk
+           into pre-sized chunk-local buffers (v-major within the chunk). *)
+        let cost_chunks =
+          Pool.parallel_map_chunked ?jobs ~n:n_u (fun ~lo ~hi ->
+              let width = hi - lo in
+              let buf = Array.make (n_v * width) 0. in
+              for v = 0 to n_v - 1 do
+                let base = v * width in
+                for u = lo to hi - 1 do
+                  buf.(base + u - lo) <- 1. -. Instance.sim instance ~v ~u
+                done
+              done;
+              (lo, width, buf))
+        in
+        (* One arc per (v,u) pair, zero-similarity pairs included, as in
+           the paper's construction. Emission is sequential and v-major
+           with u ascending (chunks are contiguous and ordered), so arc ids
+           — and therefore the SSP pivoting order — are identical for every
+           job count. *)
+        for v = 0 to n_v - 1 do
+          for c = 0 to Array.length cost_chunks - 1 do
+            let lo, width, buf = cost_chunks.(c) in
+            for du = 0 to width - 1 do
+              ignore
+                (Graph.add_arc g ~src:(event_node v)
+                   ~dst:(user_node (lo + du)) ~capacity:1
+                   ~cost:buf.((v * width) + du))
+            done
           done
         done;
-        (lo, width, buf))
+        n_v * n_u
+    | Sparse ->
+        (* Similarity-pruned construction: per event, the candidate query
+           returns exactly the users above the gate, so the event layer
+           emits [Σ_v |cand v|] arcs instead of |V|·|U|. The per-event
+           candidate sets are computed in parallel per event-chunk (each
+           cell a function of its event id alone, so byte-identical for
+           every job count); degree counting then pre-sizes the arc store
+           exactly, and the sequential v-major, u-ascending emission fixes
+           arc ids by (v, u) rank — identical to the dense layout minus the
+           pruned pairs. *)
+        Instance.prepare_event_queries instance;
+        let cand_chunks =
+          Pool.parallel_map_chunked ?jobs ~n:n_v (fun ~lo ~hi ->
+              Array.init (hi - lo) (fun i ->
+                  Instance.candidate_users instance ~v:(lo + i) ~min_sim))
+        in
+        let pair_arcs =
+          Array.fold_left
+            (fun acc chunk ->
+              Array.fold_left (fun acc c -> acc + Array.length c) acc chunk)
+            0 cand_chunks
+        in
+        Graph.reserve g ~arcs:(n_v + pair_arcs + n_u);
+        for v = 0 to n_v - 1 do
+          ignore
+            (Graph.add_arc g ~src:source ~dst:(event_node v)
+               ~capacity:(Instance.event_capacity instance v) ~cost:0.)
+        done;
+        Array.iteri
+          (fun c chunk ->
+            let lo =
+              (* Chunks tile [0, n_v) contiguously in order; recover the
+                 chunk's base event id from the preceding chunk sizes. *)
+              let base = ref 0 in
+              for i = 0 to c - 1 do
+                base := !base + Array.length cand_chunks.(i)
+              done;
+              !base
+            in
+            Array.iteri
+              (fun i candidates ->
+                let v = lo + i in
+                Array.iter
+                  (fun (u, s) ->
+                    ignore
+                      (Graph.add_arc g ~src:(event_node v) ~dst:(user_node u)
+                         ~capacity:1 ~cost:(1. -. s)))
+                  candidates)
+              chunk)
+          cand_chunks;
+        if Audit.enabled () then
+          audit_pruned_pairs ~site:"Mincostflow.build_network/sparse"
+            instance g ~min_sim ~n_v ~n_u;
+        pair_arcs
   in
-  (* One arc per (v,u) pair, zero-similarity pairs included, as in the
-     paper's construction. Emission is sequential and v-major with u
-     ascending (chunks are contiguous and ordered), so arc ids — and
-     therefore the SSP pivoting order — are identical for every job
-     count. *)
-  let vu_arc = Array.make (n_v * n_u) (-1) in
-  for v = 0 to n_v - 1 do
-    for c = 0 to Array.length cost_chunks - 1 do
-      let lo, width, buf = cost_chunks.(c) in
-      for du = 0 to width - 1 do
-        let u = lo + du in
-        vu_arc.((v * n_u) + u) <-
-          Graph.add_arc g ~src:(event_node v) ~dst:(user_node u) ~capacity:1
-            ~cost:buf.((v * width) + du)
-      done
-    done
-  done;
   for u = 0 to n_u - 1 do
     ignore
       (Graph.add_arc g ~src:(user_node u) ~dst:sink
          ~capacity:(Instance.user_capacity instance u) ~cost:0.)
   done;
-  (g, source, sink, vu_arc)
+  {
+    graph = g;
+    source;
+    sink;
+    pair_arcs;
+    dense_pairs = n_v * n_u;
+    network_used = network;
+  }
 
-let solve_with_stats ?deadline ?jobs instance =
+let solve_with_stats ?deadline ?jobs ?network ?min_sim instance =
+  let n_v = Instance.n_events instance in
   let n_u = Instance.n_users instance in
-  let g, source, sink, vu_arc = build_network ?jobs instance in
+  let net = build_network ?jobs ?network ?min_sim instance in
+  let g = net.graph and source = net.source and sink = net.sink in
   (* A unit of flow adds 1 - path_cost to MaxSum; path costs only grow, so
      stopping before the first non-improving unit lands on the Δ with the
      largest MaxSum (the paper's argmax over Δ_min..Δ_max). *)
   (* Audit hooks fire inside the SSP loop, so a broken invariant names the
      augmentation that introduced it rather than surfacing after the run. *)
+  if Audit.enabled () then begin
+    Graph.finalize_csr g;
+    Audit.Flow.check_csr ~site:"Mincostflow.solve/finalize" g
+  end;
   let audit_after_dijkstra ~potential =
     if Audit.enabled () then
       Audit.Flow.check_reduced_costs ~site:"Mincostflow.solve/dijkstra" g
@@ -89,7 +229,9 @@ let solve_with_stats ?deadline ?jobs instance =
     if Audit.enabled () then begin
       let site = "Mincostflow.solve/augment" in
       Audit.Flow.check_capacity ~site g;
-      Audit.Flow.check_conservation ~site g ~source ~sink
+      Audit.Flow.check_conservation ~site g ~source ~sink;
+      (* Pushes must have kept the positional residual capacities current. *)
+      Audit.Flow.check_csr ~site g
     end
   in
   let outcome =
@@ -97,17 +239,22 @@ let solve_with_stats ?deadline ?jobs instance =
       ~should_augment:(fun ~path_cost -> path_cost < 1.)
       ~audit_after_dijkstra ~audit_after_augment ()
   in
-  (* M_∅: pairs carrying flow with positive similarity. *)
+  (* M_∅: pairs carrying flow with positive similarity. The similarity is
+     recovered from the stored arc cost (s = 1 - cost) instead of being
+     recomputed; [s > 0] iff [cost < 1], exactly the build-time gate. *)
   let assigned = Array.make n_u [] in
-  for v = 0 to Instance.n_events instance - 1 do
-    for u = 0 to n_u - 1 do
-      let a = vu_arc.((v * n_u) + u) in
-      if Graph.flow g a = 1 then begin
-        let s = Instance.sim instance ~v ~u in
-        if s > 0. then assigned.(u) <- (v, s) :: assigned.(u)
-      end
-    done
-  done;
+  Graph.fold_forward_arcs g ~init:() ~f:(fun () a ->
+      let sv = Graph.src g a in
+      if sv >= 1 && sv <= n_v then begin
+        let d = Graph.dst g a in
+        if d > n_v && d < sink && Graph.flow g a = 1 then begin
+          let s = 1. -. Graph.cost g a in
+          if s > 0. then begin
+            let u = d - 1 - n_v in
+            assigned.(u) <- (sv - 1, s) :: assigned.(u)
+          end
+        end
+      end);
   (* Conflict resolution (Algorithm 1, lines 8-14): per user, keep events in
      descending similarity, skipping any that conflict with one already
      kept — a greedy max-weight independent set. *)
@@ -142,8 +289,10 @@ let solve_with_stats ?deadline ?jobs instance =
       flow_cost = outcome.Mcf.cost;
       augmentations = outcome.Mcf.augmentations;
       dropped_pairs = !dropped;
+      pair_arcs = net.pair_arcs;
+      dense_pairs = net.dense_pairs;
       timed_out = outcome.Mcf.timed_out;
     } )
 
-let solve ?deadline ?jobs instance =
-  fst (solve_with_stats ?deadline ?jobs instance)
+let solve ?deadline ?jobs ?network ?min_sim instance =
+  fst (solve_with_stats ?deadline ?jobs ?network ?min_sim instance)

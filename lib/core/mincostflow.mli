@@ -15,15 +15,62 @@
     set over their assigned events (keep in descending similarity, skip
     conflicting).
 
-    Every (v,u) arc exists — including zero-similarity ones — so the network
-    has Θ(|V|·|U|) arcs; this is the paper's "quartic, not scalable"
-    algorithm. *)
+    {2 Dense vs sparse networks}
+
+    The paper's construction gives every (v,u) pair an arc — zero-similarity
+    ones included — so the {!Dense} network has Θ(|V|·|U|) arcs (the
+    "quartic, not scalable" algorithm). Yet the SSP loop stops before any
+    unit whose path cost reaches 1, and a zero-similarity arc costs exactly
+    1, so no unit of the final flow ever crosses one: the {!Sparse} network
+    drops them up front via the instance's NN-index candidate queries
+    ({!Instance.candidate_users}) and produces the same matching on a
+    fraction of the arcs. [Sparse] is the default; [min_sim] optionally
+    raises the gate from [sim > 0] to [sim >= τ] (a quality/speed knob that
+    {e does} change results for τ > 0). *)
+
+type network =
+  | Dense   (** One arc per (v,u) pair, as in the paper. *)
+  | Sparse  (** Only pairs above the similarity gate (default). *)
+
+val network_name : network -> string
+(** ["dense"] / ["sparse"]. *)
+
+val network_of_string : string -> (network, string) result
+(** Parses a {!network_name} (case-insensitive). *)
+
+val default_network : unit -> network
+(** The network used when the [?network] argument is omitted. Initially
+    {!Sparse}. *)
+
+val set_default_network : network -> unit
+(** Sets the process-wide default (the CLI's [--network] flag). *)
+
+val default_min_sim : unit -> float
+
+val set_default_min_sim : float -> unit
+(** Sets the process-wide default similarity gate τ for sparse builds.
+    @raise Invalid_argument outside [\[0, 1\]]. *)
+
+type net = {
+  graph : Geacc_flow.Graph.t;
+  source : int;
+  sink : int;
+  pair_arcs : int;    (** (v,u) arcs actually emitted. *)
+  dense_pairs : int;  (** |V|·|U|, what the dense construction would emit. *)
+  network_used : network;
+      (** The construction that actually ran — {!Dense} when an active
+          fault plan forced the dense sequential path. *)
+}
+(** The Step-1 network. Event [v] is node [1 + v], user [u] is node
+    [1 + |V| + u]. *)
 
 type stats = {
   flow_value : int;        (** Δ actually routed (the argmax Δ). *)
   flow_cost : float;       (** Cost of that flow. *)
   augmentations : int;     (** Shortest-path computations that pushed flow. *)
   dropped_pairs : int;     (** Pairs removed by conflict resolution. *)
+  pair_arcs : int;         (** (v,u) arcs in the network that was solved. *)
+  dense_pairs : int;       (** |V|·|U| for the same instance. *)
   timed_out : bool;        (** [true] when [deadline] stopped the flow sweep
                                 early: conflict resolution then ran on a
                                 min-cost flow of a smaller Δ, so the result
@@ -31,27 +78,39 @@ type stats = {
 }
 
 val build_network :
-  ?jobs:int -> Instance.t -> Geacc_flow.Graph.t * int * int * int array
-(** The Step-1 network: [(g, source, sink, vu_arc)] with
-    [vu_arc.((v * |U|) + u)] the forward arc id of pair [(v,u)]. [jobs]
-    (default {!Geacc_par.Pool.default_jobs}) parallelises the Θ(|V|·|U|)
-    similarity/cost table per user-chunk; arc emission stays sequential, so
-    arc ids — and hence the SSP pivoting order and the final flow — are
+  ?jobs:int -> ?network:network -> ?min_sim:float -> Instance.t -> net
+(** The Step-1 network. [jobs] (default {!Geacc_par.Pool.default_jobs})
+    parallelises the construction — the Θ(|V|·|U|) cost table per
+    user-chunk for {!Dense}, the candidate queries per event-chunk for
+    {!Sparse}; arc emission stays sequential and v-major with u ascending,
+    so arc ids — and hence the SSP pivoting order and the final flow — are
     byte-identical for every job count. When a fault plan is active the
-    table is computed sequentially so [sim.*] hit counters replay in plan
-    order. Exposed for the determinism tests and audits.
-    @raise Geacc_robust.Fault.Injected when the [mcf.alloc] point fires. *)
+    dense sequential path is forced so [sim.*] hit counters replay in plan
+    order (the sparse builder never evaluates {!Instance.sim}). Under
+    [GEACC_AUDIT=1] a sparse build additionally proves every pruned pair
+    sits below the similarity gate. Exposed for the determinism tests,
+    audits and benchmarks.
+    @raise Geacc_robust.Fault.Injected when the [mcf.alloc] point fires.
+    @raise Invalid_argument when [min_sim] is outside [\[0, 1\]]. *)
 
 val solve :
-  ?deadline:Geacc_robust.Budget.t -> ?jobs:int -> Instance.t -> Matching.t
+  ?deadline:Geacc_robust.Budget.t ->
+  ?jobs:int ->
+  ?network:network ->
+  ?min_sim:float ->
+  Instance.t ->
+  Matching.t
 (** [deadline] (default: unlimited) is polled between augmentations of the
     underlying SSP loop; on expiry the partial flow — a valid min-cost flow
     of its own amount — is resolved into a feasible matching as usual.
-    [jobs] is passed to {!build_network}; the solve itself is sequential
-    and its output independent of the job count. *)
+    [jobs], [network] and [min_sim] are passed to {!build_network}; the
+    solve itself is sequential and its output independent of the job
+    count. *)
 
 val solve_with_stats :
   ?deadline:Geacc_robust.Budget.t ->
   ?jobs:int ->
+  ?network:network ->
+  ?min_sim:float ->
   Instance.t ->
   Matching.t * stats

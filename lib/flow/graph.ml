@@ -12,6 +12,20 @@ type t = {
   mutable initial_cap : int array;   (* capacity at creation, for reset/flow *)
   mutable cost_ : float array;
   mutable count : int;
+  (* CSR mirror of the arc store, built by [finalize_csr]: positions are
+     grouped per source node ([csr_offset]) and hold per-position copies of
+     dst/cost plus the residual capacity, so the traversal kernels scan
+     contiguous memory instead of chasing [next] links. [csr_arc] maps a
+     position back to its arc id and [arc_pos] inverts it; [csr_count] is
+     the arc count the mirror was built for (-1 = never built), so adding
+     arcs invalidates it while [push] keeps it current in place. *)
+  mutable csr_count : int;
+  mutable csr_offset : int array;    (* num_nodes + 1 *)
+  mutable csr_dst : int array;
+  mutable csr_cost : float array;
+  mutable csr_cap : int array;
+  mutable csr_arc : int array;       (* position -> arc id *)
+  mutable arc_pos : int array;       (* arc id -> position *)
 }
 
 let create ~num_nodes =
@@ -25,6 +39,13 @@ let create ~num_nodes =
     initial_cap = [||];
     cost_ = [||];
     count = 0;
+    csr_count = -1;
+    csr_offset = [||];
+    csr_dst = [||];
+    csr_cost = [||];
+    csr_cap = [||];
+    csr_arc = [||];
+    arc_pos = [||];
   }
 
 let node_count t = t.num_nodes
@@ -93,9 +114,12 @@ let initial_capacity t a =
   check_arc t a;
   t.initial_cap.(a)
 
+let[@inline] csr_valid t = t.csr_count = t.count
+
 let unsafe_set_residual_capacity t a k =
   check_arc t a;
-  t.cap_.(a) <- k
+  t.cap_.(a) <- k;
+  if csr_valid t then t.csr_cap.(t.arc_pos.(a)) <- k
 
 let flow t a =
   check_arc t a;
@@ -105,8 +129,13 @@ let flow t a =
 let[@inline] push t a k =
   check_arc t a;
   assert (0 <= k && k <= t.cap_.(a));
+  let b = partner a in
   t.cap_.(a) <- t.cap_.(a) - k;
-  t.cap_.(partner a) <- t.cap_.(partner a) + k
+  t.cap_.(b) <- t.cap_.(b) + k;
+  if csr_valid t then begin
+    t.csr_cap.(t.arc_pos.(a)) <- t.cap_.(a);
+    t.csr_cap.(t.arc_pos.(b)) <- t.cap_.(b)
+  end
 
 (* Closure-free adjacency walk for the hot paths: callers keep one cursor
    in a pre-hoisted ref and step it with [next_out_arc] until -1, instead of
@@ -136,7 +165,90 @@ let fold_forward_arcs t ~init ~f =
   done;
   !acc
 
-let reset_flow t = Array.blit t.initial_cap 0 t.cap_ 0 t.count
+(* Degree-counted one-pass construction: count out-degrees, prefix-sum them
+   into the offset table, then scatter the arcs. The scatter walks arc ids
+   in descending order, so within a node positions hold descending ids —
+   exactly the traversal order of the intrusive list ([head] prepends, ids
+   grow monotonically) — and every CSR scan visits arcs in the same
+   sequence the linked walk did. *)
+let finalize_csr t =
+  if not (csr_valid t) then begin
+    let n = t.num_nodes and m = t.count in
+    if Array.length t.csr_offset <> n + 1 then
+      t.csr_offset <- Array.make (n + 1) 0
+    else Array.fill t.csr_offset 0 (n + 1) 0;
+    if Array.length t.csr_arc < m then begin
+      t.csr_dst <- Array.make m 0;
+      t.csr_cost <- Array.make m 0.;
+      t.csr_cap <- Array.make m 0;
+      t.csr_arc <- Array.make m 0;
+      t.arc_pos <- Array.make m 0
+    end;
+    let off = t.csr_offset in
+    for a = 0 to m - 1 do
+      (* src of arc [a] is the dst of its partner. *)
+      let s = t.dst_.(a lxor 1) in
+      off.(s + 1) <- off.(s + 1) + 1
+    done;
+    for i = 1 to n do
+      off.(i) <- off.(i) + off.(i - 1)
+    done;
+    let cursor = Array.make n 0 in
+    Array.blit off 0 cursor 0 n;
+    for a = m - 1 downto 0 do
+      let s = t.dst_.(a lxor 1) in
+      let p = cursor.(s) in
+      cursor.(s) <- p + 1;
+      t.csr_dst.(p) <- t.dst_.(a);
+      t.csr_cost.(p) <- t.cost_.(a);
+      t.csr_cap.(p) <- t.cap_.(a);
+      t.csr_arc.(p) <- a;
+      t.arc_pos.(a) <- p
+    done;
+    t.csr_count <- m
+  end
+
+let[@inline] check_pos t p =
+  assert (csr_valid t);
+  assert (p >= 0 && p < t.count)
+
+let[@inline] out_begin t n =
+  assert (csr_valid t);
+  assert (n >= 0 && n < t.num_nodes);
+  t.csr_offset.(n)
+
+let[@inline] out_end t n =
+  assert (csr_valid t);
+  assert (n >= 0 && n < t.num_nodes);
+  t.csr_offset.(n + 1)
+
+let[@inline] pos_dst t p =
+  check_pos t p;
+  t.csr_dst.(p)
+
+let[@inline] pos_cost t p =
+  check_pos t p;
+  t.csr_cost.(p)
+
+let[@inline] pos_residual_capacity t p =
+  check_pos t p;
+  t.csr_cap.(p)
+
+let[@inline] pos_arc t p =
+  check_pos t p;
+  t.csr_arc.(p)
+
+let arc_position t a =
+  check_arc t a;
+  assert (csr_valid t);
+  t.arc_pos.(a)
+
+let reset_flow t =
+  Array.blit t.initial_cap 0 t.cap_ 0 t.count;
+  if csr_valid t then
+    for p = 0 to t.count - 1 do
+      t.csr_cap.(p) <- t.cap_.(t.csr_arc.(p))
+    done
 
 let excess t n =
   assert (n >= 0 && n < t.num_nodes);

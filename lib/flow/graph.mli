@@ -69,6 +69,51 @@ val next_out_arc : t -> arc -> arc
 val fold_forward_arcs : t -> init:'a -> f:('a -> arc -> 'a) -> 'a
 (** Folds over the user-created (even) arcs in insertion order. *)
 
+(** {2 CSR finalization}
+
+    {!finalize_csr} compacts the arc store into struct-of-arrays
+    [dst]/[cost]/[residual_cap] arrays grouped per source node by an offset
+    table, so the traversal kernels (Bellman–Ford, Dijkstra, BFS) scan the
+    contiguous position range [\[out_begin n, out_end n)] instead of
+    chasing [next] links. Arc ids are unchanged — positions carry their arc
+    id ({!pos_arc}), the [a lxor 1] residual pairing is untouched, and
+    within a node positions enumerate arcs in exactly the order
+    {!first_out_arc}/{!next_out_arc} would (descending arc id). {!push},
+    {!unsafe_set_residual_capacity} and {!reset_flow} keep the positional
+    residual capacities current in place; only {!add_arc} invalidates the
+    form (rebuild by calling {!finalize_csr} again). *)
+
+val finalize_csr : t -> unit
+(** Builds (or rebuilds) the CSR form. O(nodes + arcs); a no-op when the
+    form is already current. *)
+
+val csr_valid : t -> bool
+(** [true] when the CSR form reflects the current arc store (no arcs added
+    since the last {!finalize_csr}). *)
+
+val out_begin : t -> int -> int
+(** First CSR position of the arcs leaving a node. Requires {!csr_valid}. *)
+
+val out_end : t -> int -> int
+(** One past the last CSR position of the arcs leaving a node. *)
+
+val pos_dst : t -> int -> int
+(** Destination of the arc at a CSR position. *)
+
+val pos_cost : t -> int -> float
+(** Cost of the arc at a CSR position. *)
+
+val pos_residual_capacity : t -> int -> int
+(** Residual capacity of the arc at a CSR position — kept current by
+    {!push}/{!reset_flow} while the form is valid. *)
+
+val pos_arc : t -> int -> arc
+(** Arc id stored at a CSR position. *)
+
+val arc_position : t -> arc -> int
+(** CSR position of an arc id (inverse of {!pos_arc}). Requires
+    {!csr_valid}. *)
+
 val reset_flow : t -> unit
 (** Returns every arc to zero flow. *)
 

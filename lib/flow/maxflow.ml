@@ -1,12 +1,13 @@
 let solve g ~source ~sink =
   assert (source <> sink);
+  Graph.finalize_csr g;
   let n = Graph.node_count g in
   let parent_arc = Array.make n (-1) in
   let visited = Array.make n false in
   let queue = Queue.create () in
   (* Scratch refs shared across rounds, hoisted out of every loop. *)
   let found = ref false in
-  let arc = ref (-1) in
+  let p = ref 0 in
   let bottleneck = ref max_int in
   let v = ref sink in
   let find_path () =
@@ -18,16 +19,17 @@ let solve g ~source ~sink =
     found := false;
     while (not !found) && not (Queue.is_empty queue) do
       let u = Queue.pop queue in
-      arc := Graph.first_out_arc g u;
-      while !arc >= 0 do
-        let a = !arc in
-        let w = Graph.dst g a in
-        if (not visited.(w)) && Graph.residual_capacity g a > 0 then begin
+      p := Graph.out_begin g u;
+      let stop_p = Graph.out_end g u in
+      while !p < stop_p do
+        let w = Graph.pos_dst g !p in
+        if (not visited.(w)) && Graph.pos_residual_capacity g !p > 0
+        then begin
           visited.(w) <- true;
-          parent_arc.(w) <- a;
+          parent_arc.(w) <- Graph.pos_arc g !p;
           if w = sink then found := true else Queue.add w queue
         end;
-        arc := Graph.next_out_arc g a
+        incr p
       done
     done;
     !found

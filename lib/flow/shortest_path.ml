@@ -3,6 +3,7 @@ type result = { dist : float array; parent_arc : int array }
 module Heap = Geacc_pqueue.Float_int_heap
 
 let dijkstra g ~source ?potential ?stop_at () =
+  Graph.finalize_csr g;
   let n = Graph.node_count g in
   let dist = Array.make n infinity in
   let parent_arc = Array.make n (-1) in
@@ -10,7 +11,8 @@ let dijkstra g ~source ?potential ?stop_at () =
   (* Specialised inner loop: the potential is always consulted as a plain
      array (all zeros when absent) and the reduced cost is computed inline,
      so each relaxation is three array reads and two float ops — no
-     per-node callback closure, no boxed intermediate. *)
+     per-node callback closure, no boxed intermediate. Adjacency comes from
+     the CSR form: one contiguous position scan per settled node. *)
   let pi =
     match potential with Some pi -> pi | None -> Array.make n 0.
   in
@@ -19,7 +21,7 @@ let dijkstra g ~source ?potential ?stop_at () =
   dist.(source) <- 0.;
   Heap.push heap 0. source;
   let finished = ref false in
-  let arc = ref (-1) in
+  let p = ref 0 in
   while not !finished do
     if Heap.is_empty heap then finished := true
     else begin
@@ -31,25 +33,25 @@ let dijkstra g ~source ?potential ?stop_at () =
         assert (d = dist.(u));
         if u = stop then finished := true
         else begin
-          arc := Graph.first_out_arc g u;
-          while !arc >= 0 do
-            let a = !arc in
-            if Graph.residual_capacity g a > 0 then begin
-              let v = Graph.dst g a in
+          p := Graph.out_begin g u;
+          let stop_p = Graph.out_end g u in
+          while !p < stop_p do
+            if Graph.pos_residual_capacity g !p > 0 then begin
+              let v = Graph.pos_dst g !p in
               if not settled.(v) then begin
-                let rc = Graph.cost g a +. pi.(u) -. pi.(v) in
+                let rc = Graph.pos_cost g !p +. pi.(u) -. pi.(v) in
                 (* Reduced costs must be non-negative; tolerate tiny
                    floating-point slack from potential updates. *)
                 let rc = if rc < 0. then (assert (rc > -1e-9); 0.) else rc in
                 let nd = d +. rc in
                 if nd < dist.(v) then begin
                   dist.(v) <- nd;
-                  parent_arc.(v) <- a;
+                  parent_arc.(v) <- Graph.pos_arc g !p;
                   Heap.push heap nd v
                 end
               end
             end;
-            arc := Graph.next_out_arc g a
+            incr p
           done
         end
       end
@@ -58,31 +60,32 @@ let dijkstra g ~source ?potential ?stop_at () =
   { dist; parent_arc }
 
 let bellman_ford g ~source =
+  Graph.finalize_csr g;
   let n = Graph.node_count g in
   let dist = Array.make n infinity in
   let parent_arc = Array.make n (-1) in
   dist.(source) <- 0.;
   let changed = ref true in
   let rounds = ref 0 in
-  let arc = ref (-1) in
+  let p = ref 0 in
   while !changed && !rounds < n do
     changed := false;
     incr rounds;
     for u = 0 to n - 1 do
       if dist.(u) < infinity then begin
-        arc := Graph.first_out_arc g u;
-        while !arc >= 0 do
-          let a = !arc in
-          if Graph.residual_capacity g a > 0 then begin
-            let v = Graph.dst g a in
-            let nd = dist.(u) +. Graph.cost g a in
+        p := Graph.out_begin g u;
+        let stop_p = Graph.out_end g u in
+        while !p < stop_p do
+          if Graph.pos_residual_capacity g !p > 0 then begin
+            let v = Graph.pos_dst g !p in
+            let nd = dist.(u) +. Graph.pos_cost g !p in
             if nd < dist.(v) -. 1e-12 then begin
               dist.(v) <- nd;
-              parent_arc.(v) <- a;
+              parent_arc.(v) <- Graph.pos_arc g !p;
               changed := true
             end
           end;
-          arc := Graph.next_out_arc g a
+          incr p
         done
       end
     done

@@ -161,3 +161,46 @@ hoisted refs is clean:
   $ ocamlc -bin-annot -c proj5/lib/flow/tidy.ml
   $ geacc_analyze proj5
   geacc_analyze: clean
+
+A CSR-style adjacency scan — a while loop driving a position cursor
+through struct-of-arrays slices — is the hot shape of the flow kernels.
+Reading the arrays and mutating hoisted state is clean; allocating
+per-position scratch (a ref cell, a callback closure) inside the scan is
+flagged like any other hot-loop allocation:
+
+  $ mkdir -p proj7/lib/flow
+  $ cat > proj7/lib/flow/csr_scan.ml <<'EOF'
+  > let relax off dst cost dist u =
+  >   let p = ref off.(u) in
+  >   let stop = off.(u + 1) in
+  >   while !p < stop do
+  >     let v = dst.(!p) in
+  >     if dist.(u) +. cost.(!p) < dist.(v) then
+  >       dist.(v) <- dist.(u) +. cost.(!p);
+  >     incr p
+  >   done
+  > EOF
+  $ ocamlc -bin-annot -c proj7/lib/flow/csr_scan.ml
+  $ geacc_analyze proj7
+  geacc_analyze: clean
+
+  $ cat > proj7/lib/flow/csr_bad.ml <<'EOF'
+  > let consume f = f ()
+  > let scan off dst u =
+  >   let hits = ref 0 in
+  >   let p = ref off.(u) in
+  >   let stop = off.(u + 1) in
+  >   while !p < stop do
+  >     let seen = ref false in
+  >     consume (fun () -> if dst.(!p) > u && not !seen then seen := true);
+  >     if !seen then incr hits;
+  >     incr p
+  >   done;
+  >   !hits
+  > EOF
+  $ ocamlc -bin-annot -c proj7/lib/flow/csr_bad.ml
+  $ geacc_analyze proj7
+  proj7/lib/flow/csr_bad.ml:1:0: [missing-inline] Csr_bad.consume (1 lines) is called from a hot loop at proj7/lib/flow/csr_bad.ml:8 but carries no [@inline]; add [@inline] (and [@unboxed] on any single-field wrapper it involves)
+  proj7/lib/flow/csr_bad.ml:7:15: [hot-loop-alloc] a ref cell is allocated on every iteration of this hot loop; hoist the ref out of the loop
+  proj7/lib/flow/csr_bad.ml:8:12: [hot-loop-alloc] a closure is allocated on every iteration of this hot loop; hoist it out of the loop or iterate without a callback
+  [1]

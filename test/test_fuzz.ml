@@ -79,5 +79,103 @@ let test_differential () =
     check_instance ~seed t
   done
 
+(* ---------- dense vs sparse flow networks ---------- *)
+
+(* The sparse (similarity-pruned) network must match the paper's dense one
+   on the objective: bit-identical MaxSum and Validate-clean — per
+   attribute model (uniform / Zipf / normal mixture) and for jobs ∈
+   {1, 2, 4}. The pair sets themselves may legitimately differ: both flows
+   are min-cost of the same value, and when several augmenting paths tie,
+   the dense network's extra (never-augmented) arcs can steer Dijkstra to a
+   different optimum among equals. Instances come in two flavours:
+   Equation-1 similarity (cutoff = attribute-space diameter, so nothing
+   prunes) and a re-wrap of the same entities under a range/4 euclidean
+   profile, which drives a large fraction of pairs to similarity exactly 0
+   and makes the pruning path do real work. *)
+let tighten instance =
+  Instance.create
+    ~sim:
+      (Similarity.euclidean ~dim:(Instance.dim instance)
+         ~range:(Synthetic.default.Synthetic.t_max /. 4.))
+    ~events:(Instance.events instance)
+    ~users:(Instance.users instance)
+    ~conflicts:(Instance.conflicts instance)
+    ()
+
+let test_dense_sparse_identical () =
+  let attr_models =
+    [
+      ("uniform", Synthetic.Attr_uniform);
+      ("zipf", Synthetic.Attr_zipf 1.3);
+      ("normal", Synthetic.Attr_normal_mixture);
+    ]
+  in
+  let jobs_under_test = [ 1; 2; 4 ] in
+  let pruned_pairs_seen = ref 0 in
+  List.iter
+    (fun (model_name, attrs) ->
+      for seed = 1 to 8 do
+        let cfg =
+          {
+            Synthetic.default with
+            Synthetic.n_events = 3 + (seed mod 4);
+            n_users = 10 + (3 * seed);
+            dim = 1 + (seed mod 3);
+            attrs;
+            event_capacity = Synthetic.Cap_uniform 3;
+            user_capacity = Synthetic.Cap_uniform 2;
+            conflict_ratio = 0.3;
+          }
+        in
+        let base = Synthetic.generate ~seed cfg in
+        List.iter
+          (fun (flavour, instance) ->
+            let label fmt =
+              Printf.ksprintf
+                (fun s ->
+                  Printf.sprintf "%s/%s seed=%d %s" model_name flavour seed s)
+                fmt
+            in
+            let reference, ref_stats =
+              Mincostflow.solve_with_stats ~jobs:1
+                ~network:Mincostflow.Dense instance
+            in
+            let ref_bits = Int64.bits_of_float (Matching.maxsum reference) in
+            List.iter
+              (fun jobs ->
+                let m, stats =
+                  Mincostflow.solve_with_stats ~jobs
+                    ~network:Mincostflow.Sparse instance
+                in
+                (match Validate.check_matching m with
+                | [] -> ()
+                | violations ->
+                    Alcotest.failf "%s: %d violations"
+                      (label "jobs=%d" jobs)
+                      (List.length violations));
+                Alcotest.(check int64)
+                  (label "maxsum bits, jobs=%d" jobs)
+                  ref_bits
+                  (Int64.bits_of_float (Matching.maxsum m));
+                if stats.Mincostflow.pair_arcs > stats.Mincostflow.dense_pairs
+                then
+                  Alcotest.failf "%s: sparse has more arcs than dense"
+                    (label "jobs=%d" jobs);
+                pruned_pairs_seen :=
+                  !pruned_pairs_seen + stats.Mincostflow.dropped_pairs)
+              jobs_under_test;
+            ignore ref_stats)
+          [ ("eq1", base); ("tight", tighten base) ]
+      done)
+    attr_models;
+  (* The sweep is only meaningful if the pruning path actually fired. *)
+  if !pruned_pairs_seen = 0 then
+    Alcotest.fail "no pair was ever pruned — tight instances too loose"
+
 let suite =
-  [ Alcotest.test_case "200-instance differential sweep" `Slow test_differential ]
+  [
+    Alcotest.test_case "200-instance differential sweep" `Slow
+      test_differential;
+    Alcotest.test_case "dense vs sparse networks identical" `Slow
+      test_dense_sparse_identical;
+  ]

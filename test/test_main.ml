@@ -7,6 +7,7 @@ let () =
       ("table", Test_table.suite);
       ("pqueue", Test_pqueue.suite);
       ("flow", Test_flow.suite);
+      ("csr", Test_csr.suite);
       ("index", Test_index.suite);
       ("backends", Test_backends.suite);
       ("core-model", Test_core_model.suite);

@@ -158,18 +158,28 @@ let test_mcf_network_identical () =
     Synthetic.generate ~seed:7
       { Synthetic.default with Synthetic.n_events = 12; n_users = 90 }
   in
-  let g1, _, _, vu1 = Mincostflow.build_network ~jobs:1 instance in
-  let reference = arc_dump g1 in
   List.iter
-    (fun jobs ->
-      let g, _, _, vu = Mincostflow.build_network ~jobs instance in
-      Alcotest.(check string)
-        (Printf.sprintf "arc dump, jobs=%d" jobs)
-        reference (arc_dump g);
-      Alcotest.(check (array int))
-        (Printf.sprintf "vu_arc ids, jobs=%d" jobs)
-        vu1 vu)
-    jobs_under_test
+    (fun network ->
+      let label fmt =
+        Printf.ksprintf
+          (fun s ->
+            Printf.sprintf "%s %s" (Mincostflow.network_name network) s)
+          fmt
+      in
+      let n1 = Mincostflow.build_network ~jobs:1 ~network instance in
+      let reference = arc_dump n1.Mincostflow.graph in
+      List.iter
+        (fun jobs ->
+          let n = Mincostflow.build_network ~jobs ~network instance in
+          Alcotest.(check string)
+            (label "arc dump, jobs=%d" jobs)
+            reference
+            (arc_dump n.Mincostflow.graph);
+          Alcotest.(check int)
+            (label "pair arcs, jobs=%d" jobs)
+            n1.Mincostflow.pair_arcs n.Mincostflow.pair_arcs)
+        jobs_under_test)
+    [ Mincostflow.Dense; Mincostflow.Sparse ]
 
 (* ---------- kd-tree determinism ---------- *)
 

@@ -48,14 +48,19 @@ let labelled_sweep ~profile ~title ~xlabel ~points
   let points = Array.of_list points in
   let n_points = Array.length points and trials = profile.trials in
   let cells = Array.init n_points (fun _ -> Array.make trials [||]) in
+  (* Progress goes out before the fan-out: a chunk body writing to stderr
+     would interleave nondeterministically across domains (and trips the
+     effects analyzer's par-nondet rule). *)
+  Printf.eprintf "[bench] %s: %s in {%s}\n%!" title xlabel
+    (String.concat ", " (Array.to_list (Array.map fst points)));
   Pool.parallel_for ~jobs:profile.jobs ~n:(n_points * trials) (fun i ->
       let p = i / trials and t = i mod trials in
-      let label, make_instance = points.(p) in
-      if t = 0 then Printf.eprintf "[bench] %s: %s = %s\n%!" title xlabel label;
+      let _, make_instance = points.(p) in
       let seed = t + 1 in
       cells.(p).(t) <-
         Array.of_list
           (List.map
+             (* race: ok — measure's only mutable reaches are Audit.fail's counter (audits abort the run on any violation) and the domain-dependent peak sampler, whose mode each row reports explicitly *)
              (fun a -> Harness.measure ~seed a (fun () -> make_instance ~seed))
              algorithms));
   let rows =
@@ -448,9 +453,11 @@ let ablation_greedy profile =
       let cfg = { Synthetic.default with Synthetic.n_users } in
       let make () = Synthetic.generate ~seed:1 cfg in
       let m1, t1 = Measure.time (fun () -> Greedy.solve (make ())) in
-      let _, mem1 = Measure.run_with_peak (fun () -> Greedy.solve (make ())) in
+      let _, mem1, _ =
+        Measure.run_with_peak (fun () -> Greedy.solve (make ()))
+      in
       let m2, t2 = Measure.time (fun () -> Greedy_naive.solve (make ())) in
-      let _, mem2 =
+      let _, mem2, _ =
         Measure.run_with_peak (fun () -> Greedy_naive.solve (make ()))
       in
       Table.add_row table
@@ -548,7 +555,9 @@ let ablation_index profile =
       Printf.eprintf "[bench] ablation-index: %s\n%!" b.Geacc_index.Nn_backend.name;
       let make () = Synthetic.generate ~seed:1 ~backend:b cfg in
       let m, secs = Measure.time (fun () -> Greedy.solve (make ())) in
-      let _, mem = Measure.run_with_peak (fun () -> Greedy.solve (make ())) in
+      let _, mem, _ =
+        Measure.run_with_peak (fun () -> Greedy.solve (make ()))
+      in
       Table.add_row table
         [
           b.Geacc_index.Nn_backend.name;
@@ -689,14 +698,14 @@ let sparse_cell ~name instance =
       Measure.time (fun () ->
           Mincostflow.solve_with_stats ~network instance)
     in
-    let _, peak_bytes =
+    let _, peak_bytes, peak_mode =
       Measure.run_with_peak (fun () ->
           Mincostflow.solve_with_stats ~network instance)
     in
-    (m, stats, wall_s, peak_bytes)
+    (m, stats, wall_s, peak_bytes, peak_mode)
   in
-  let dm, ds, dt, dmem = run Mincostflow.Dense in
-  let sm, ss, st, smem = run Mincostflow.Sparse in
+  let dm, ds, dt, dmem, dmode = run Mincostflow.Dense in
+  let sm, ss, st, smem, smode = run Mincostflow.Sparse in
   let dsum = Matching.maxsum dm and ssum = Matching.maxsum sm in
   let bits_equal = Int64.bits_of_float dsum = Int64.bits_of_float ssum in
   if not bits_equal then
@@ -715,14 +724,15 @@ let sparse_cell ~name instance =
       "n_users": %d,
       "dim": %d,
       "zero_sim_fraction": %.6f,
-      "dense": { "wall_s": %.6f, "peak_bytes": %d, "pair_arcs": %d, "maxsum": %.17g },
-      "sparse": { "wall_s": %.6f, "peak_bytes": %d, "pair_arcs": %d, "maxsum": %.17g },
+      "dense": { "wall_s": %.6f, "peak_bytes": %d, "peak_mode": "%s", "pair_arcs": %d, "maxsum": %.17g },
+      "sparse": { "wall_s": %.6f, "peak_bytes": %d, "peak_mode": "%s", "pair_arcs": %d, "maxsum": %.17g },
       "arc_reduction": %.6f,
       "speedup": %.4f,
       "maxsum_bits_equal": %b
     }|}
     name n_v n_u (Instance.dim instance) zero_frac dt dmem
-    ds.Mincostflow.pair_arcs dsum st smem ss.Mincostflow.pair_arcs ssum
+    (Measure.peak_mode_label dmode) ds.Mincostflow.pair_arcs dsum st smem
+    (Measure.peak_mode_label smode) ss.Mincostflow.pair_arcs ssum
     (1.
     -. float_of_int ss.Mincostflow.pair_arcs
        /. float_of_int (Stdlib.max 1 ds.Mincostflow.pair_arcs))

@@ -11,6 +11,11 @@ type measurement = {
   matched_pairs : int;
   wall_s : float;
   live_bytes : int;   (** Peak live-heap growth during the solve call. *)
+  peak_mode : [ `Exact | `Gc_delta ];
+      (** Which estimator produced [live_bytes]: the main-domain sampler
+          ([`Exact]) or the worker-domain retained-growth fallback
+          ([`Gc_delta], an underestimate). See
+          {!Geacc_util.Measure.run_with_peak}. *)
 }
 
 val measure :

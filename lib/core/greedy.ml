@@ -40,6 +40,7 @@ let infeasible st ~v ~u =
    the heap) are skipped permanently: they will be, or have been, processed
    when popped. *)
 let refill_event st v =
+  (* poll: ok — the rank cursor only ever advances, so refills are amortized across the popping loop, which polls *)
   let rec scan () =
     match Instance.event_neighbor st.instance ~v ~rank:st.event_rank.(v) with
     | None -> ()
@@ -57,6 +58,7 @@ let refill_event st v =
   scan ()
 
 let refill_user st u =
+  (* poll: ok — the rank cursor only ever advances, so refills are amortized across the popping loop, which polls *)
   let rec scan () =
     match Instance.user_neighbor st.instance ~u ~rank:st.user_rank.(u) with
     | None -> ()

@@ -209,6 +209,7 @@ let candidate_users t ~v ~min_sim =
           ~max_dist:profile.Similarity.cutoff
       in
       let acc = ref [] and count = ref 0 in
+      (* poll: ok — the stream stops at the first rank below the gate; bounded by the candidate count *)
       let rec go rank =
         match stream.Nn_backend.get rank with
         | None -> ()

@@ -1,3 +1,5 @@
+module Budget = Geacc_robust.Budget
+
 type stats = { rounds : int; moves_accepted : int; gained : float }
 
 (* Best feasible pair touching event [v] or user [u] — excluding the
@@ -20,6 +22,7 @@ let best_incident m instance ~banned ~v ~u =
       | _ -> best := Some (s, v', u')
   in
   let scan next pair_of =
+    (* poll: ok — the scan stops at the incumbent's similarity; bounded by one neighbour stream *)
     let rec go rank =
       match next ~rank with
       | None -> ()
@@ -47,6 +50,7 @@ let try_replace m instance ~v ~u =
   let before = Matching.maxsum m in
   Matching.remove_exn m ~v ~u;
   let added = ref [] in
+  (* poll: ok — every refill step consumes one unit of freed capacity, so the recursion is bounded by c_v + c_u *)
   let rec refill () =
     match best_incident m instance ~banned:(v, u) ~v ~u with
     | Some (_, v', u') ->
@@ -73,6 +77,7 @@ let add_all_feasible m instance =
          restore the ascending-user order the full scan attempted adds
          in. *)
       let candidates = ref [] in
+      (* poll: ok — one pass over event v's positive-similarity neighbour stream *)
       let rec collect rank =
         match Instance.event_neighbor instance ~v ~rank with
         | None -> ()
@@ -92,21 +97,28 @@ let add_all_feasible m instance =
   done;
   !added
 
-let improve ?(max_rounds = 8) m =
+let improve ?(max_rounds = 8) ?(deadline = Budget.unlimited) m =
   if max_rounds < 1 then invalid_arg "Local_search.improve: max_rounds < 1";
   let instance = Matching.instance m in
   let initial = Matching.maxsum m in
   let moves = ref 0 in
   let rounds = ref 0 in
   let progressed = ref true in
-  while !progressed && !rounds < max_rounds do
+  (* The deadline is polled between rounds and between replace moves; every
+     move either completes (including its revert) or never starts, so the
+     matching stays feasible on expiry. *)
+  while !progressed && !rounds < max_rounds && not (Budget.check deadline) do
     incr rounds;
     progressed := false;
     if add_all_feasible m instance > 0 then progressed := true;
     List.iter
       (fun (v, u) ->
         (* The pair may already have been displaced by an earlier move. *)
-        if Matching.mem m ~v ~u && try_replace m instance ~v ~u then begin
+        if
+          (not (Budget.check deadline))
+          && Matching.mem m ~v ~u
+          && try_replace m instance ~v ~u
+        then begin
           incr moves;
           progressed := true
         end)
@@ -118,7 +130,7 @@ let improve ?(max_rounds = 8) m =
     gained = Matching.maxsum m -. initial;
   }
 
-let solve ?max_rounds instance =
+let solve ?max_rounds ?deadline instance =
   let m = Greedy.solve instance in
-  let (_ : stats) = improve ?max_rounds m in
+  let (_ : stats) = improve ?max_rounds ?deadline m in
   m

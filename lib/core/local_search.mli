@@ -24,8 +24,19 @@ type stats = {
   gained : float;         (** Total MaxSum improvement over the input. *)
 }
 
-val improve : ?max_rounds:int -> Matching.t -> stats
-(** Optimises the matching in place. [max_rounds] defaults to 8. *)
+val improve :
+  ?max_rounds:int -> ?deadline:Geacc_robust.Budget.t -> Matching.t -> stats
+(** Optimises the matching in place. [max_rounds] defaults to 8.
 
-val solve : ?max_rounds:int -> Instance.t -> Matching.t
-(** [Greedy.solve] followed by {!improve}. *)
+    [deadline] (default {!Geacc_robust.Budget.unlimited}) is polled between
+    rounds and between replace moves; on expiry the sweep stops after the
+    in-flight move completes or reverts, so the matching is always left
+    feasible — with whatever improvement was banked so far. *)
+
+val solve :
+  ?max_rounds:int ->
+  ?deadline:Geacc_robust.Budget.t ->
+  Instance.t ->
+  Matching.t
+(** [Greedy.solve] followed by {!improve}. [deadline] only bounds the
+    improvement phase. *)

@@ -91,6 +91,7 @@ let add_exn t ~v ~u =
            (reject_to_string reason))
 
 let remove_first x list =
+  (* poll: ok — bounded by one user's assignment list (at most c_u events) *)
   let rec go acc = function
     | [] -> invalid_arg "Matching.remove_exn: internal inconsistency"
     | y :: rest when y = x -> List.rev_append acc rest

@@ -115,6 +115,7 @@ let build_network ?jobs ?network ?min_sim instance =
               for v = 0 to n_v - 1 do
                 let base = v * width in
                 for u = lo to hi - 1 do
+                  (* race: ok — Instance.sim reaches Fault.fire's hit counters only under an installed plan, and fault plans are armed solely by the single-domain robustness tests *)
                   buf.(base + u - lo) <- 1. -. Instance.sim instance ~v ~u
                 done
               done;
@@ -151,6 +152,7 @@ let build_network ?jobs ?network ?min_sim instance =
         let cand_chunks =
           Pool.parallel_map_chunked ?jobs ~n:n_v (fun ~lo ~hi ->
               Array.init (hi - lo) (fun i ->
+                  (* race: ok — candidate_users opens a fresh stream over the shared read-only index; the only mutable reach is Fault.fire's counters, armed solely by single-domain robustness tests *)
                   Instance.candidate_users instance ~v:(lo + i) ~min_sim))
         in
         let pair_arcs =

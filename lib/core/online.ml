@@ -1,4 +1,5 @@
 module Error = Geacc_robust.Error
+module Budget = Geacc_robust.Budget
 
 let check_order instance order =
   let n = Instance.n_users instance in
@@ -24,9 +25,15 @@ let check_order instance order =
 (* Serve one arrival: walk the user's neighbour ranks (descending
    similarity), taking every event that is feasible right now, until the
    user is full or the ranks run out. *)
-let serve matching instance u =
+let serve matching instance ~deadline u =
+  (* The deadline is polled before each neighbour step: every [add] that ran
+     passed the full feasibility check, so the served prefix stays feasible
+     when the walk is cut short. *)
   let rec walk rank =
-    if Matching.remaining_user_capacity matching u > 0 then
+    if
+      (not (Budget.check deadline))
+      && Matching.remaining_user_capacity matching u > 0
+    then
       match Instance.user_neighbor instance ~u ~rank with
       | None -> ()
       | Some (v, _) ->
@@ -35,22 +42,25 @@ let serve matching instance u =
   in
   walk 1
 
-let solve_order instance order =
+let solve_order ?(deadline = Budget.unlimited) instance order =
   let matching = Matching.create instance in
-  Array.iter (fun u -> serve matching instance u) order;
+  Array.iter (fun u -> serve matching instance ~deadline u) order;
   matching
 
-let solve ?order instance =
+let solve ?order ?deadline instance =
   match order with
-  | None -> Ok (solve_order instance (Array.init (Instance.n_users instance) Fun.id))
+  | None ->
+      Ok
+        (solve_order ?deadline instance
+           (Array.init (Instance.n_users instance) Fun.id))
   | Some o -> (
       match check_order instance o with
-      | Ok () -> Ok (solve_order instance o)
+      | Ok () -> Ok (solve_order ?deadline instance o)
       | Error _ as e -> e)
 
-let solve_random_order ~rng instance =
+let solve_random_order ?deadline ~rng instance =
   let order = Array.init (Instance.n_users instance) Fun.id in
   Geacc_util.Rng.shuffle_in_place rng order;
   (* A shuffled identity array is a permutation by construction, so the
      checked path cannot fail here. *)
-  solve_order instance order
+  solve_order ?deadline instance order

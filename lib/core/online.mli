@@ -26,10 +26,20 @@ val check_order :
 
 val solve :
   ?order:int array ->
+  ?deadline:Geacc_robust.Budget.t ->
   Instance.t ->
   (Matching.t, Geacc_robust.Error.t) result
 (** [order] is the arrival permutation of user ids (default: ascending).
-    Fails with {!check_order}'s error when [order] is not a permutation. *)
+    Fails with {!check_order}'s error when [order] is not a permutation.
 
-val solve_random_order : rng:Geacc_util.Rng.t -> Instance.t -> Matching.t
-(** Arrival order drawn uniformly from the permutations of the users. *)
+    [deadline] (default {!Geacc_robust.Budget.unlimited}) is polled before
+    every assignment step; on expiry the remaining arrivals are left
+    unserved and the (feasible) prefix matching is returned. *)
+
+val solve_random_order :
+  ?deadline:Geacc_robust.Budget.t ->
+  rng:Geacc_util.Rng.t ->
+  Instance.t ->
+  Matching.t
+(** Arrival order drawn uniformly from the permutations of the users.
+    [deadline] as in {!solve}. *)

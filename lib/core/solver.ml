@@ -64,5 +64,5 @@ let run ?rng ?deadline ?network algorithm instance =
   | Random_v -> Random_baseline.random_v ~rng instance
   | Random_u -> Random_baseline.random_u ~rng instance
   | Greedy_naive -> Greedy_naive.solve instance
-  | Greedy_ls -> Local_search.solve instance
-  | Online -> Online.solve_random_order ~rng instance
+  | Greedy_ls -> Local_search.solve ?deadline instance
+  | Online -> Online.solve_random_order ?deadline ~rng instance

@@ -151,6 +151,7 @@ let[@inline] next_out_arc t a =
 let iter_out_arcs t n f =
   assert (n >= 0 && n < t.num_nodes);
   let a = ref t.head.(n) in
+  (* poll: ok — single pass over one node's adjacency list *)
   while !a >= 0 do
     f !a;
     a := t.next.(!a)
@@ -159,6 +160,7 @@ let iter_out_arcs t n f =
 let fold_forward_arcs t ~init ~f =
   let acc = ref init in
   let a = ref 0 in
+  (* poll: ok — single pass over the arc store *)
   while !a < t.count do
     acc := f !acc !a;
     a := !a + 2

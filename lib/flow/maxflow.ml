@@ -17,6 +17,7 @@ let solve g ~source ~sink =
     visited.(source) <- true;
     Queue.add source queue;
     found := false;
+    (* poll: ok — one BFS visits each node at most once *)
     while (not !found) && not (Queue.is_empty queue) do
       let u = Queue.pop queue in
       p := Graph.out_begin g u;
@@ -35,6 +36,7 @@ let solve g ~source ~sink =
     !found
   in
   let total = ref 0 in
+  (* poll: ok — Edmonds–Karp reference kernel for the test oracle only, never on the deadline-scoped solver path *)
   while find_path () do
     bottleneck := max_int;
     v := sink;

@@ -22,6 +22,7 @@ let dijkstra g ~source ?potential ?stop_at () =
   Heap.push heap 0. source;
   let finished = ref false in
   let p = ref 0 in
+  (* poll: ok — one Dijkstra pass is the SSP unit of work; Mcf.solve polls before every pass *)
   while not !finished do
     if Heap.is_empty heap then finished := true
     else begin
@@ -68,6 +69,7 @@ let bellman_ford g ~source =
   let changed = ref true in
   let rounds = ref 0 in
   let p = ref 0 in
+  (* poll: ok — bounded by n relaxation rounds; run once per network, on the first SSP pass *)
   while !changed && !rounds < n do
     changed := false;
     incr rounds;

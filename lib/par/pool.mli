@@ -49,7 +49,18 @@
     count above 1, grows to the largest requested size, and is reused by
     every later region (domains block on a condition variable between
     regions). An [at_exit] hook shuts the workers down so the process never
-    exits with domains parked on the queue. *)
+    exits with domains parked on the queue.
+
+    {2 Chunk-body contract (statically enforced)}
+
+    The determinism guarantee holds only if chunk bodies write nothing but
+    state owned by their own index/chunk and observe no ambient
+    nondeterminism (global [Random] state, domain identity, clocks,
+    std-channel output, hashtable iteration order, physical equality on
+    boxed values). [geacc_effects] ([dune build @effects]) checks both
+    obligations interprocedurally at every call site of the three
+    combinators — rules [par-shared-write] and [par-nondet]; see
+    DESIGN.md §12. *)
 
 val max_jobs : int
 (** Upper clamp on every job count (64). *)

@@ -15,7 +15,13 @@
 
     Budgets are single-solver values: {!check} mutates counters and is not
     thread-safe. {!unlimited} is the shared disarmed budget; polling it is a
-    single load-and-branch and mutates nothing. *)
+    single load-and-branch and mutates nothing.
+
+    Polling is a static obligation, not a convention: [geacc_effects]
+    ([dune build @effects], rule [poll-missing]) requires every outermost
+    loop under [lib/core] / [lib/flow] to reach {!check} or {!check_now}
+    in its call closure, so a solver hot loop that cannot be cancelled by
+    a deadline fails the build. See DESIGN.md §12. *)
 
 type t
 

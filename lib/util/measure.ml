@@ -42,7 +42,7 @@ let run_with_peak f =
     let before = (Gc.stat ()).Gc.live_words in
     let x = f () in
     let after = (Gc.stat ()).Gc.live_words in
-    (x, Stdlib.max 0 ((after - before) * word_bytes))
+    (x, Stdlib.max 0 ((after - before) * word_bytes), `Gc_delta)
   end
   else begin
   Gc.full_major ();
@@ -76,8 +76,10 @@ let run_with_peak f =
   in
   (* The final working set may be larger than at the last sample. *)
   observe ();
-  (x, Stdlib.max 0 ((!peak - baseline) * word_bytes))
+  (x, Stdlib.max 0 ((!peak - baseline) * word_bytes), `Exact)
   end
+
+let peak_mode_label = function `Exact -> "exact" | `Gc_delta -> "gc-delta"
 
 let pp_sample ppf s =
   Format.fprintf ppf "%.3fms live=%.1fKB top=%.1fKB" (s.wall_s *. 1000.)

@@ -1,0 +1,284 @@
+geacc_effects over .cmt fixtures compiled directly with ocamlc -bin-annot.
+The trees mimic the repo layout: the poll rule (P) fires only under
+lib/core and lib/flow; the mirror rule (T) trusts lib/flow and lib/check;
+the race rules (R) apply to any chunk body passed to a pool combinator,
+anywhere.
+
+Shared fixtures: a sequential stand-in Pool (the analyzer matches the
+combinator *names*), a Budget with the repo's poll entry points, and a
+Graph with protected arc-store/CSR-mirror fields:
+
+  $ mkdir -p proj/lib/par proj/lib/robust proj/lib/flow
+  $ cat > proj/lib/par/pool.ml <<'EOF'
+  > let parallel_for ~n f = for i = 0 to n - 1 do f i done
+  > let parallel_map_chunked ~n f = [| f ~lo:0 ~hi:n |]
+  > let parallel_reduce ~n f g z = g z (f 0 (n - 1))
+  > EOF
+  $ cat > proj/lib/robust/budget.ml <<'EOF'
+  > type t = { mutable expired : bool }
+  > let unlimited = { expired = false }
+  > let check t = t.expired
+  > let check_now t = t.expired
+  > EOF
+  $ cat > proj/lib/flow/graph.ml <<'EOF'
+  > type t = {
+  >   mutable count : int;
+  >   mutable csr_cost : float array;
+  >   mutable csr_cap : int array;
+  >   dst_ : int array;
+  > }
+  > let create n =
+  >   { count = 0; csr_cost = Array.make n 0.;
+  >     csr_cap = Array.make n 0; dst_ = Array.make n 0 }
+  > let push g a c = g.csr_cap.(a) <- c; g.count <- g.count + 1
+  > EOF
+  $ ocamlc -bin-annot -c proj/lib/par/pool.ml
+  $ ocamlc -bin-annot -c proj/lib/robust/budget.ml
+  $ ocamlc -bin-annot -c proj/lib/flow/graph.ml
+  $ geacc_effects proj
+  geacc_effects: clean
+
+-- (R) race/determinism ------------------------------------------------
+
+Every violation form in one module, interleaved with the two sanctioned
+patterns (chunk-local state; per-index stores into a captured array):
+
+  $ mkdir -p proj/bench
+  $ cat > proj/bench/races.ml <<'EOF'
+  > let total = ref 0
+  > let bump () = incr total
+  > let log_step i = Printf.eprintf "step %d\n" i
+  > type cell = { mutable value : int }
+  > let shared_cell = { value = 0 }
+  > let shared_tbl : (int, int) Hashtbl.t = Hashtbl.create 8
+  > let buf = Bytes.make 8 ' '
+  > 
+  > let chunk_local_clean out =
+  >   Pool.parallel_for ~n:4 (fun i ->
+  >       let acc = ref 0 in
+  >       for j = 0 to i do acc := !acc + j done;
+  >       out.(i) <- !acc)
+  > 
+  > let ref_direct out =
+  >   Pool.parallel_for ~n:4 (fun i -> incr total; out.(i) <- i)
+  > 
+  > let ref_transitive out =
+  >   Pool.parallel_for ~n:4 (fun i -> bump (); out.(i) <- i)
+  > 
+  > let field_write out =
+  >   Pool.parallel_for ~n:4 (fun i -> shared_cell.value <- i; out.(i) <- i)
+  > 
+  > let bytes_write out =
+  >   Pool.parallel_for ~n:4 (fun i -> Bytes.set buf i 'x'; out.(i) <- i)
+  > 
+  > let tbl_write out =
+  >   Pool.parallel_for ~n:4 (fun i -> Hashtbl.replace shared_tbl i i; out.(i) <- i)
+  > 
+  > let tbl_local_clean out =
+  >   Pool.parallel_for ~n:4 (fun i ->
+  >       let t = Hashtbl.create 4 in
+  >       Hashtbl.replace t i i;
+  >       out.(i) <- Hashtbl.length t)
+  > 
+  > let nondet_random out =
+  >   Pool.parallel_for ~n:4 (fun i -> out.(i) <- Random.int 10)
+  > 
+  > let nondet_transitive out =
+  >   Pool.parallel_for ~n:4 (fun i -> log_step i; out.(i) <- i)
+  > 
+  > let nondet_clock out =
+  >   Pool.parallel_for ~n:4 (fun i -> out.(i) <- Sys.time ())
+  > 
+  > let nondet_tbl_iter out =
+  >   Pool.parallel_for ~n:4 (fun i ->
+  >       Hashtbl.iter (fun _ v -> out.(i) <- v) shared_tbl)
+  > 
+  > let phys_eq_boxed (xs : string array) out =
+  >   Pool.parallel_for ~n:4 (fun i -> out.(i) <- (xs.(i) == xs.(0)))
+  > 
+  > let phys_eq_int_clean out =
+  >   Pool.parallel_for ~n:4 (fun i -> out.(i) <- (i == 0))
+  > EOF
+  $ ocamlc -bin-annot -c -I proj/lib/par proj/bench/races.ml
+  $ geacc_effects proj/bench
+  proj/bench/races.ml:16:35: [par-shared-write] the chunk body passed to parallel_for writes the ref (total) it captured; chunks may only write chunk-local state or their own cells of a shared array
+  proj/bench/races.ml:19:35: [par-shared-write] the chunk body passed to parallel_for reaches Races.bump, which writes the ref total; shared writes make the parallel region racy
+  proj/bench/races.ml:22:35: [par-shared-write] the chunk body passed to parallel_for writes the record field value (shared_cell) it captured; chunks may only write chunk-local state or their own cells of a shared array
+  proj/bench/races.ml:25:35: [par-shared-write] the chunk body passed to parallel_for writes the Bytes buffer (buf) it captured; chunks may only write chunk-local state or their own cells of a shared array
+  proj/bench/races.ml:28:35: [par-shared-write] the chunk body passed to parallel_for writes the hashtable (shared_tbl) it captured; chunks may only write chunk-local state or their own cells of a shared array
+  proj/bench/races.ml:37:46: [par-nondet] the chunk body passed to parallel_for uses the global Random state; chunk results must be a function of the chunk index alone
+  proj/bench/races.ml:40:35: [par-nondet] the chunk body passed to parallel_for reaches Races.log_step, which writes to the process std channels; chunk results must be a function of the chunk index alone
+  proj/bench/races.ml:43:46: [par-nondet] the chunk body passed to parallel_for reads a wall clock; chunk results must be a function of the chunk index alone
+  proj/bench/races.ml:47:6: [par-nondet] the chunk body passed to parallel_for iterates a hashtable (unspecified order); chunk results must be a function of the chunk index alone
+  proj/bench/races.ml:50:46: [par-nondet] the chunk body passed to parallel_for compares boxed values physically (address identity); chunk results must be a function of the chunk index alone
+  [1]
+
+The other two combinators open chunk contexts the same way:
+
+  $ cat > proj/bench/combs.ml <<'EOF'
+  > let hits = ref 0
+  > let chunked () =
+  >   Pool.parallel_map_chunked ~n:8 (fun ~lo ~hi -> incr hits; hi - lo)
+  > let reduced () =
+  >   Pool.parallel_reduce ~n:8 (fun lo _hi -> incr hits; lo) (+) 0
+  > EOF
+  $ ocamlc -bin-annot -c -I proj/lib/par proj/bench/combs.ml
+  $ geacc_effects proj/bench
+  proj/bench/combs.ml:3:49: [par-shared-write] the chunk body passed to parallel_map_chunked writes the ref (hits) it captured; chunks may only write chunk-local state or their own cells of a shared array
+  proj/bench/combs.ml:5:43: [par-shared-write] the chunk body passed to parallel_reduce writes the ref (hits) it captured; chunks may only write chunk-local state or their own cells of a shared array
+  proj/bench/races.ml:16:35: [par-shared-write] the chunk body passed to parallel_for writes the ref (total) it captured; chunks may only write chunk-local state or their own cells of a shared array
+  proj/bench/races.ml:19:35: [par-shared-write] the chunk body passed to parallel_for reaches Races.bump, which writes the ref total; shared writes make the parallel region racy
+  proj/bench/races.ml:22:35: [par-shared-write] the chunk body passed to parallel_for writes the record field value (shared_cell) it captured; chunks may only write chunk-local state or their own cells of a shared array
+  proj/bench/races.ml:25:35: [par-shared-write] the chunk body passed to parallel_for writes the Bytes buffer (buf) it captured; chunks may only write chunk-local state or their own cells of a shared array
+  proj/bench/races.ml:28:35: [par-shared-write] the chunk body passed to parallel_for writes the hashtable (shared_tbl) it captured; chunks may only write chunk-local state or their own cells of a shared array
+  proj/bench/races.ml:37:46: [par-nondet] the chunk body passed to parallel_for uses the global Random state; chunk results must be a function of the chunk index alone
+  proj/bench/races.ml:40:35: [par-nondet] the chunk body passed to parallel_for reaches Races.log_step, which writes to the process std channels; chunk results must be a function of the chunk index alone
+  proj/bench/races.ml:43:46: [par-nondet] the chunk body passed to parallel_for reads a wall clock; chunk results must be a function of the chunk index alone
+  proj/bench/races.ml:47:6: [par-nondet] the chunk body passed to parallel_for iterates a hashtable (unspecified order); chunk results must be a function of the chunk index alone
+  proj/bench/races.ml:50:46: [par-nondet] the chunk body passed to parallel_for compares boxed values physically (address identity); chunk results must be a function of the chunk index alone
+  [1]
+
+  $ rm proj/bench/races.cmt proj/bench/combs.cmt
+
+-- (P) poll coverage ---------------------------------------------------
+
+A bare while loop in poll scope is the negative fixture; the same loop
+polling directly, polling through a helper, or containing its unpolled
+loop inside a polled outer loop is compliant. A `let rec ... and ...`
+group is one obligation:
+
+  $ mkdir -p proj/lib/core
+  $ cat > proj/lib/core/loops.ml <<'EOF'
+  > let spin n =
+  >   let i = ref 0 in
+  >   while !i < n do incr i done;
+  >   !i
+  > 
+  > let polled deadline n =
+  >   let i = ref 0 in
+  >   while !i < n && not (Budget.check deadline) do incr i done;
+  >   !i
+  > 
+  > let poll_helper deadline = Budget.check_now deadline
+  > 
+  > let polled_transitively deadline n =
+  >   let i = ref 0 in
+  >   while !i < n do
+  >     if poll_helper deadline then i := n else incr i
+  >   done;
+  >   !i
+  > 
+  > let nested_inner_covered deadline grid =
+  >   let i = ref 0 in
+  >   while (not (Budget.check deadline)) && !i < Array.length grid do
+  >     let j = ref 0 in
+  >     while !j < Array.length grid.(!i) do
+  >       grid.(!i).(!j) <- 0;
+  >       incr j
+  >     done;
+  >     incr i
+  >   done
+  > 
+  > let rec even n = if n = 0 then true else odd (n - 1)
+  > and odd n = if n = 0 then false else even (n - 1)
+  > 
+  > let rec drain deadline n =
+  >   if Budget.check deadline || n = 0 then n else drain deadline (n - 1)
+  > EOF
+  $ ocamlc -bin-annot -c -I proj/lib/robust proj/lib/core/loops.ml
+  $ geacc_effects proj/lib/core proj/lib/robust
+  proj/lib/core/loops.ml:3:2: [poll-missing] this while loop never reaches Budget.check/check_now in its call closure, so a deadline cannot cancel it; poll the budget or tag (* poll: ok — <reason> *)
+  proj/lib/core/loops.ml:31:0: [poll-missing] this recursive function even never reaches Budget.check/check_now in its call closure, so a deadline cannot cancel it; poll the budget or tag (* poll: ok — <reason> *)
+  proj/lib/core/loops.ml:32:0: [poll-missing] this recursive function odd never reaches Budget.check/check_now in its call closure, so a deadline cannot cancel it; poll the budget or tag (* poll: ok — <reason> *)
+  [1]
+
+The identical module outside the poll scope carries no obligations:
+
+  $ mkdir -p proj/lib/model
+  $ cp proj/lib/core/loops.ml proj/lib/model/free.ml
+  $ ocamlc -bin-annot -c -I proj/lib/robust proj/lib/model/free.ml
+  $ geacc_effects proj/lib/model proj/lib/robust
+  geacc_effects: clean
+
+  $ rm proj/lib/core/loops.cmt proj/lib/model/free.cmt
+
+-- (T) CSR mirror safety -----------------------------------------------
+
+Untrusted writes through Graph's protected fields — a record-field store
+and an element store into a protected array — are errors; the same writes
+from the audit layer (lib/check) and from lib/flow itself are trusted:
+
+  $ mkdir -p proj/lib/check
+  $ cat > proj/lib/core/evil.ml <<'EOF'
+  > let clobber (g : Graph.t) = g.Graph.count <- 0
+  > let poke (g : Graph.t) a = g.Graph.csr_cost.(a) <- 0.
+  > EOF
+  $ cat > proj/lib/check/audit.ml <<'EOF'
+  > let corrupt (g : Graph.t) = g.Graph.count <- 0
+  > let poke (g : Graph.t) a = g.Graph.csr_cost.(a) <- 0.
+  > EOF
+  $ ocamlc -bin-annot -c -I proj/lib/flow proj/lib/core/evil.ml
+  $ ocamlc -bin-annot -c -I proj/lib/flow proj/lib/check/audit.ml
+  $ geacc_effects proj/lib/core proj/lib/check proj/lib/flow
+  proj/lib/core/evil.ml:1:28: [csr-mirror-write] direct write through Graph.count outside lib/flow//lib/check desynchronises the CSR positional mirror; go through Graph.push / reset_flow or the audit layer
+  proj/lib/core/evil.ml:2:27: [csr-mirror-write] direct write through Graph.csr_cost outside lib/flow//lib/check desynchronises the CSR positional mirror; go through Graph.push / reset_flow or the audit layer
+  [1]
+
+  $ rm proj/lib/core/evil.cmt
+
+-- Suppressions --------------------------------------------------------
+
+Each rule family has a reasoned tag; the reason is mandatory — a bare
+"ok" reports suppress-no-reason instead of silently passing:
+
+  $ cat > proj/bench/tags.ml <<'EOF'
+  > let total = ref 0
+  > 
+  > let with_reason out =
+  >   Pool.parallel_for ~n:2 (fun i ->
+  >       (* race: ok — single writer: n=2 chunks each touch their own half *)
+  >       incr total;
+  >       out.(i) <- i)
+  > 
+  > let without_reason out =
+  >   Pool.parallel_for ~n:2 (fun i ->
+  >       (* race: ok *)
+  >       incr total;
+  >       out.(i) <- i)
+  > EOF
+  $ cat > proj/lib/core/tagged.ml <<'EOF'
+  > let bounded n =
+  >   let i = ref 0 in
+  >   (* poll: ok — bounded by n, a small constant at every call site *)
+  >   while !i < n do incr i done;
+  >   !i
+  > 
+  > let bounded_bare n =
+  >   let i = ref 0 in
+  >   (* poll: ok *)
+  >   while !i < n do incr i done;
+  >   !i
+  > 
+  > let reset (g : Graph.t) =
+  >   (* mirror: ok — the fixture rebuilds the mirror immediately after *)
+  >   g.Graph.count <- 0
+  > EOF
+  $ ocamlc -bin-annot -c -I proj/lib/par proj/bench/tags.ml
+  $ ocamlc -bin-annot -c -I proj/lib/flow proj/lib/core/tagged.ml
+  $ geacc_effects proj
+  proj/bench/tags.ml:12:6: [suppress-no-reason] suppression tag "race: ok" carries no reason; write (* race: ok — <why this is sound> *)
+  proj/lib/core/tagged.ml:10:2: [suppress-no-reason] suppression tag "poll: ok" carries no reason; write (* poll: ok — <why this is sound> *)
+  [1]
+
+-- JSON report ---------------------------------------------------------
+
+  $ geacc_effects --format json proj/lib/core proj/lib/flow
+  [
+    {"file": "proj/lib/core/tagged.ml", "line": 10, "col": 2, "rule": "suppress-no-reason", "message": "suppression tag \"poll: ok\" carries no reason; write (* poll: ok — <why this is sound> *)"}
+  ]
+  [1]
+
+A clean tree still emits a (machine-consumable) empty array:
+
+  $ geacc_effects --format json proj/lib/flow
+  []

@@ -19,10 +19,13 @@ let test_run_reports_retained () =
   Alcotest.(check bool) "time recorded" true (sample.Measure.wall_s >= 0.)
 
 let test_run_with_peak_sees_retained () =
-  let x, peak = Measure.run_with_peak (fun () -> Array.make 500_000 0.) in
+  let x, peak, mode = Measure.run_with_peak (fun () -> Array.make 500_000 0.) in
   Alcotest.(check int) "result returned" 500_000 (Array.length x);
   Alcotest.(check bool) "peak covers the retained array" true
-    (peak > 3_000_000)
+    (peak > 3_000_000);
+  (* The test runner calls from the main domain, so the sampler mode — not
+     the worker-domain Gc-delta fallback — must be reported. *)
+  Alcotest.(check string) "mode" "exact" (Measure.peak_mode_label mode)
 
 let test_run_with_peak_propagates_exceptions () =
   Alcotest.check_raises "exception passes through" Exit (fun () ->
@@ -43,7 +46,9 @@ let test_harness_measure () =
   let m = Harness.measure Solver.Greedy make in
   Alcotest.(check bool) "pairs matched" true (m.Harness.matched_pairs > 0);
   Alcotest.(check bool) "maxsum positive" true (m.Harness.maxsum > 0.);
-  Alcotest.(check bool) "time non-negative" true (m.Harness.wall_s >= 0.)
+  Alcotest.(check bool) "time non-negative" true (m.Harness.wall_s >= 0.);
+  Alcotest.(check string) "peak mode recorded" "exact"
+    (Measure.peak_mode_label m.Harness.peak_mode)
 
 let test_harness_average_deterministic_algorithms () =
   let make ~seed = Synthetic.generate ~seed tiny_cfg in

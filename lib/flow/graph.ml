@@ -1,5 +1,21 @@
 type arc = int
 
+(* Hot accessors index the parallel arrays through [Geacc_unsafe] under
+   stage-4 licences: every licensed index is re-proved by `dune build
+   @bounds` from the structural invariants below (seeded for the analyzer,
+   runtime-verified by Audit.Flow.check_csr and the construction asserts):
+
+     0 <= count <= |next|, |dst_|, |cap_|, |initial_cap|, |cost_|
+     head/next hold arc ids in [-1, count), dst_ holds nodes in [0, num_nodes)
+     csr_valid  =>  |csr_offset| = num_nodes + 1,
+                    count <= |csr_dst|, |csr_cost|, |csr_cap|, |csr_arc|,
+                             |arc_pos|,
+                    csr_offset values in [0, count],
+                    csr_arc/arc_pos a permutation pair of [0, count)
+
+   `--profile safe` compiles the same sites back to checked accesses. *)
+module A = Geacc_unsafe
+
 (* Arcs live in parallel growable arrays; arc [a]'s residual partner is
    [a lxor 1]. Adjacency is an intrusive linked list: [head.(n)] is the first
    arc leaving node [n], [next.(a)] the following one, -1 terminates. *)
@@ -95,46 +111,60 @@ let[@inline] check_arc t a =
 
 let[@inline] dst t a =
   check_arc t a;
-  t.dst_.(a)
+  (* bounds: proved — check_arc gives a < count <= |dst_| *)
+  A.unsafe_get t.dst_ a
 
 let[@inline] src t a =
   check_arc t a;
   (* The source of an arc is the destination of its partner. *)
-  t.dst_.(partner a)
+  (* bounds: proved — arcs are paired, so partner a < count <= |dst_| *)
+  A.unsafe_get t.dst_ (partner a)
 
 let[@inline] cost t a =
   check_arc t a;
-  t.cost_.(a)
+  (* bounds: proved — check_arc gives a < count <= |cost_| *)
+  A.unsafe_get t.cost_ a
 
 let[@inline] residual_capacity t a =
   check_arc t a;
-  t.cap_.(a)
+  (* bounds: proved — check_arc gives a < count <= |cap_| *)
+  A.unsafe_get t.cap_ a
 
 let initial_capacity t a =
   check_arc t a;
-  t.initial_cap.(a)
+  (* bounds: proved — check_arc gives a < count <= |initial_cap| *)
+  A.unsafe_get t.initial_cap a
 
 let[@inline] csr_valid t = t.csr_count = t.count
 
+(* bounds: proved — fault-injection hook; check_arc guards a, mirror write follows arc_pos permutation *)
 let unsafe_set_residual_capacity t a k =
   check_arc t a;
-  t.cap_.(a) <- k;
-  if csr_valid t then t.csr_cap.(t.arc_pos.(a)) <- k
+  (* bounds: proved — check_arc gives a < count <= |cap_| *)
+  A.unsafe_set t.cap_ a k;
+  if csr_valid t then
+    (* bounds: proved — a < count <= |arc_pos|, arc_pos.(a) < count <= |csr_cap| *)
+    A.unsafe_set t.csr_cap (A.unsafe_get t.arc_pos a) k
 
 let flow t a =
   check_arc t a;
   if a land 1 <> 0 then invalid_arg "Graph.flow: residual arc";
-  t.initial_cap.(a) - t.cap_.(a)
+  (* bounds: proved — check_arc gives a < count <= |initial_cap| = |cap_| *)
+  A.unsafe_get t.initial_cap a - A.unsafe_get t.cap_ a
 
 let[@inline] push t a k =
   check_arc t a;
   assert (0 <= k && k <= t.cap_.(a));
   let b = partner a in
-  t.cap_.(a) <- t.cap_.(a) - k;
-  t.cap_.(b) <- t.cap_.(b) + k;
+  (* bounds: proved — check_arc gives a < count <= |cap_| *)
+  A.unsafe_set t.cap_ a (A.unsafe_get t.cap_ a - k);
+  (* bounds: proved — arcs are paired, so b = partner a < count <= |cap_| *)
+  A.unsafe_set t.cap_ b (A.unsafe_get t.cap_ b + k);
   if csr_valid t then begin
-    t.csr_cap.(t.arc_pos.(a)) <- t.cap_.(a);
-    t.csr_cap.(t.arc_pos.(b)) <- t.cap_.(b)
+    (* bounds: proved — a < count <= |arc_pos|, arc_pos.(a) < count <= |csr_cap| *)
+    A.unsafe_set t.csr_cap (A.unsafe_get t.arc_pos a) (A.unsafe_get t.cap_ a);
+    (* bounds: proved — b < count <= |arc_pos|, arc_pos.(b) < count <= |csr_cap| *)
+    A.unsafe_set t.csr_cap (A.unsafe_get t.arc_pos b) (A.unsafe_get t.cap_ b)
   end
 
 (* Closure-free adjacency walk for the hot paths: callers keep one cursor
@@ -142,18 +172,22 @@ let[@inline] push t a k =
    allocating an [iter_out_arcs] callback per relaxation round. *)
 let[@inline] first_out_arc t n =
   assert (n >= 0 && n < t.num_nodes);
-  t.head.(n)
+  (* bounds: proved — n < num_nodes = |head| *)
+  A.unsafe_get t.head n
 
 let[@inline] next_out_arc t a =
   check_arc t a;
-  t.next.(a)
+  (* bounds: proved — check_arc gives a < count <= |next| *)
+  A.unsafe_get t.next a
 
 let iter_out_arcs t n f =
   assert (n >= 0 && n < t.num_nodes);
-  let a = ref t.head.(n) in
+  (* bounds: proved — n < num_nodes = |head| *)
+  let a = ref (A.unsafe_get t.head n) in
   (* poll: ok — single pass over one node's adjacency list *)
   while !a >= 0 do
     f !a;
+    (* [f] may grow the arc store, so the list step stays checked. *)
     a := t.next.(!a)
   done
 
@@ -217,39 +251,73 @@ let[@inline] check_pos t p =
 let[@inline] out_begin t n =
   assert (csr_valid t);
   assert (n >= 0 && n < t.num_nodes);
-  t.csr_offset.(n)
+  (* bounds: proved — csr_valid gives |csr_offset| = num_nodes + 1 > n *)
+  A.unsafe_get t.csr_offset n
 
 let[@inline] out_end t n =
   assert (csr_valid t);
   assert (n >= 0 && n < t.num_nodes);
-  t.csr_offset.(n + 1)
+  (* bounds: proved — csr_valid gives |csr_offset| = num_nodes + 1 > n + 1 - 1 *)
+  A.unsafe_get t.csr_offset (n + 1)
 
 let[@inline] pos_dst t p =
   check_pos t p;
-  t.csr_dst.(p)
+  (* bounds: proved — check_pos gives p < count <= |csr_dst| *)
+  A.unsafe_get t.csr_dst p
 
 let[@inline] pos_cost t p =
   check_pos t p;
-  t.csr_cost.(p)
+  (* bounds: proved — check_pos gives p < count <= |csr_cost| *)
+  A.unsafe_get t.csr_cost p
 
 let[@inline] pos_residual_capacity t p =
   check_pos t p;
-  t.csr_cap.(p)
+  (* bounds: proved — check_pos gives p < count <= |csr_cap| *)
+  A.unsafe_get t.csr_cap p
 
 let[@inline] pos_arc t p =
   check_pos t p;
-  t.csr_arc.(p)
+  (* bounds: proved — check_pos gives p < count <= |csr_arc| *)
+  A.unsafe_get t.csr_arc p
 
 let arc_position t a =
   check_arc t a;
   assert (csr_valid t);
-  t.arc_pos.(a)
+  (* bounds: proved — check_arc gives a < count <= |arc_pos| *)
+  A.unsafe_get t.arc_pos a
+
+(* Raw CSR slices for the stage-4 licensed kernels: one validity assert at
+   fetch time, then the caller indexes positions of [out_begin, out_end)
+   ranges directly, each site under its own @bounds licence. The slices
+   stay current across [push]/[reset_flow] (in-place updates) and are
+   invalidated — like every CSR accessor — by [add_arc]. *)
+
+(* bounds: proved — returns the whole slice; positions < arc_count are in bounds while csr_valid *)
+let[@inline] unsafe_csr_dst t =
+  assert (csr_valid t);
+  t.csr_dst
+
+(* bounds: proved — returns the whole slice; positions < arc_count are in bounds while csr_valid *)
+let[@inline] unsafe_csr_cost t =
+  assert (csr_valid t);
+  t.csr_cost
+
+(* bounds: proved — returns the whole slice; positions < arc_count are in bounds while csr_valid *)
+let[@inline] unsafe_csr_cap t =
+  assert (csr_valid t);
+  t.csr_cap
+
+(* bounds: proved — returns the whole slice; positions < arc_count are in bounds while csr_valid *)
+let[@inline] unsafe_csr_arc t =
+  assert (csr_valid t);
+  t.csr_arc
 
 let reset_flow t =
   Array.blit t.initial_cap 0 t.cap_ 0 t.count;
   if csr_valid t then
     for p = 0 to t.count - 1 do
-      t.csr_cap.(p) <- t.cap_.(t.csr_arc.(p))
+      (* bounds: proved — p < count <= |csr_cap| = |csr_arc|, csr_arc.(p) < count <= |cap_| *)
+      A.unsafe_set t.csr_cap p (A.unsafe_get t.cap_ (A.unsafe_get t.csr_arc p))
     done
 
 let excess t n =

@@ -114,6 +114,31 @@ val arc_position : t -> arc -> int
 (** CSR position of an arc id (inverse of {!pos_arc}). Requires
     {!csr_valid}. *)
 
+(** {3 Raw CSR slices}
+
+    The [unsafe_csr_*] accessors hand the traversal kernels the positional
+    arrays themselves: one {!csr_valid} assert at fetch time, then the
+    caller indexes positions from [\[out_begin n, out_end n)] ranges with
+    no per-access validity or bounds check. Every such index site must
+    carry a stage-4 licence [(* bounds: proved — ... *)] that
+    [dune build @bounds] re-proves on every build; while {!csr_valid}
+    holds, every position below {!arc_count} is in bounds for all four
+    slices ([Audit.Flow.check_csr] verifies this at runtime). The slices
+    stay current across {!push}/{!reset_flow} and are invalidated by
+    {!add_arc}, like every CSR accessor. *)
+
+val unsafe_csr_dst : t -> int array
+(** Positional [dst] slice. Requires {!csr_valid}. *)
+
+val unsafe_csr_cost : t -> float array
+(** Positional cost slice. Requires {!csr_valid}. *)
+
+val unsafe_csr_cap : t -> int array
+(** Positional residual-capacity slice. Requires {!csr_valid}. *)
+
+val unsafe_csr_arc : t -> int array
+(** Positional arc-id slice. Requires {!csr_valid}. *)
+
 val reset_flow : t -> unit
 (** Returns every arc to zero flow. *)
 

@@ -1,16 +1,31 @@
+(* The BFS arc scan and the augmentation walks index the raw CSR slice and
+   the node-indexed scratch arrays through [Geacc_unsafe] under stage-4
+   licences (see DESIGN.md §13). The BFS runs inline in the augmentation
+   loop rather than as a local closure so the bounds analyzer keeps its
+   graph snapshot across rounds — behaviour is unchanged. *)
+module A = Geacc_unsafe
+
 let solve g ~source ~sink =
   assert (source <> sink);
   Graph.finalize_csr g;
   let n = Graph.node_count g in
+  assert (0 <= source && source < n && 0 <= sink && sink < n);
   let parent_arc = Array.make n (-1) in
   let visited = Array.make n false in
   let queue = Queue.create () in
+  (* bounds: proved — slice fetched under csr_valid (finalize_csr above) *)
+  let csr_dst = Graph.unsafe_csr_dst g in
+  (* bounds: proved — slice fetched under csr_valid (finalize_csr above) *)
+  let csr_cap = Graph.unsafe_csr_cap g in
   (* Scratch refs shared across rounds, hoisted out of every loop. *)
-  let found = ref false in
+  let found = ref true in
   let p = ref 0 in
   let bottleneck = ref max_int in
   let v = ref sink in
-  let find_path () =
+  let total = ref 0 in
+  (* poll: ok — Edmonds–Karp reference kernel for the test oracle only, never on the deadline-scoped solver path *)
+  while !found do
+    (* One BFS round over the residual network. *)
     Array.fill visited 0 n false;
     Array.fill parent_arc 0 n (-1);
     Queue.clear queue;
@@ -23,35 +38,38 @@ let solve g ~source ~sink =
       p := Graph.out_begin g u;
       let stop_p = Graph.out_end g u in
       while !p < stop_p do
-        let w = Graph.pos_dst g !p in
-        if (not visited.(w)) && Graph.pos_residual_capacity g !p > 0
+        (* bounds: proved — p < out_end <= arc_count <= |csr_dst| *)
+        let w = A.unsafe_get csr_dst !p in
+        (* bounds: proved — w = csr_dst.(p) < node_count = |visited|; p < arc_count <= |csr_cap| *)
+        if (not (A.unsafe_get visited w)) && A.unsafe_get csr_cap !p > 0
         then begin
-          visited.(w) <- true;
-          parent_arc.(w) <- Graph.pos_arc g !p;
+          (* bounds: proved — w < node_count = |visited| *)
+          A.unsafe_set visited w true;
+          (* bounds: proved — w < node_count = |parent_arc| *)
+          A.unsafe_set parent_arc w (Graph.pos_arc g !p);
           if w = sink then found := true else Queue.add w queue
         end;
         incr p
       done
     done;
-    !found
-  in
-  let total = ref 0 in
-  (* poll: ok — Edmonds–Karp reference kernel for the test oracle only, never on the deadline-scoped solver path *)
-  while find_path () do
-    bottleneck := max_int;
-    v := sink;
-    while !v <> source do
-      let a = parent_arc.(!v) in
-      let r = Graph.residual_capacity g a in
-      if r < !bottleneck then bottleneck := r;
-      v := Graph.src g a
-    done;
-    v := sink;
-    while !v <> source do
-      let a = parent_arc.(!v) in
-      Graph.push g a !bottleneck;
-      v := Graph.src g a
-    done;
-    total := !total + !bottleneck
+    if !found then begin
+      bottleneck := max_int;
+      v := sink;
+      while !v <> source do
+        (* bounds: proved — v stays in [0, node_count) = [0, |parent_arc|): sink is asserted, Graph.src returns node ids *)
+        let a = A.unsafe_get parent_arc !v in
+        let r = Graph.residual_capacity g a in
+        if r < !bottleneck then bottleneck := r;
+        v := Graph.src g a
+      done;
+      v := sink;
+      while !v <> source do
+        (* bounds: proved — v stays in [0, node_count) = [0, |parent_arc|): sink is asserted, Graph.src returns node ids *)
+        let a = A.unsafe_get parent_arc !v in
+        Graph.push g a !bottleneck;
+        v := Graph.src g a
+      done;
+      total := !total + !bottleneck
+    end
   done;
   !total

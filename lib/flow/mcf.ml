@@ -1,5 +1,10 @@
 module Budget = Geacc_robust.Budget
 
+(* The potential-update loop and the augmentation walks index their arrays
+   through [Geacc_unsafe] under stage-4 licences; the asserts below are the
+   facts those proofs rest on. See DESIGN.md §13. *)
+module A = Geacc_unsafe
+
 type outcome = {
   flow : int;
   cost : float;
@@ -29,7 +34,10 @@ let solve g ~source ~sink ?(deadline = Budget.unlimited) ?target_flow
     ?(audit_after_dijkstra = fun ~potential:_ -> ())
     ?(audit_after_augment = fun () -> ()) () =
   assert (source <> sink);
+  let n = Graph.node_count g in
+  assert (0 <= source && source < n && 0 <= sink && sink < n);
   let pi = initial_potential g ~source in
+  assert (Array.length pi = n);
   let total_flow = ref 0 in
   let total_cost = ref 0. in
   let augmentations = ref 0 in
@@ -61,16 +69,21 @@ let solve g ~source ~sink ?(deadline = Budget.unlimited) ?target_flow
       (* Keep reduced costs non-negative for the next round: cap distance
          contributions at the sink's distance. *)
       let cap = dist.(sink) in
+      assert (Array.length dist = Array.length pi);
       for u = 0 to Array.length dist - 1 do
-        let d = dist.(u) in
-        pi.(u) <- pi.(u) +. (if d < cap then d else cap)
+        (* bounds: proved — u < |dist| = |pi| (asserted above) *)
+        let d = A.unsafe_get dist u in
+        (* bounds: proved — u < |pi| = |dist| (asserted above) *)
+        A.unsafe_set pi u (A.unsafe_get pi u +. (if d < cap then d else cap))
       done;
       audit_after_dijkstra ~potential:pi;
       (* Bottleneck along the shortest path. *)
       bottleneck := max_int;
       v := sink;
+      assert (Array.length parent_arc = n);
       while !v <> source do
-        let a = parent_arc.(!v) in
+        (* bounds: proved — v stays in [0, n) = [0, |parent_arc|): sink is asserted, Graph.src returns node ids *)
+        let a = A.unsafe_get parent_arc !v in
         assert (a >= 0);
         let r = Graph.residual_capacity g a in
         if r < !bottleneck then bottleneck := r;
@@ -84,7 +97,8 @@ let solve g ~source ~sink ?(deadline = Budget.unlimited) ?target_flow
       assert (units > 0);
       v := sink;
       while !v <> source do
-        let a = parent_arc.(!v) in
+        (* bounds: proved — v stays in [0, n) = [0, |parent_arc|): sink is asserted, Graph.src returns node ids *)
+        let a = A.unsafe_get parent_arc !v in
         Graph.push g a units;
         v := Graph.src g a
       done;

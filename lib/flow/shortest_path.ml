@@ -2,6 +2,15 @@ type result = { dist : float array; parent_arc : int array }
 
 module Heap = Geacc_pqueue.Float_int_heap
 
+(* The relaxation kernels index the raw CSR slices and the node-indexed
+   scratch arrays through [Geacc_unsafe] under stage-4 licences: positions
+   come from [out_begin u <= p < out_end u <= arc_count <= |slice|] and
+   node ids from [csr_dst] contents, which lie in [0, node_count) —
+   invariants the @bounds analyzer seeds from [finalize_csr] and
+   Audit.Flow.check_csr verifies at runtime. `--profile safe` compiles the
+   same sites back to checked accesses. See DESIGN.md §13. *)
+module A = Geacc_unsafe
+
 let dijkstra g ~source ?potential ?stop_at () =
   Graph.finalize_csr g;
   let n = Graph.node_count g in
@@ -16,6 +25,15 @@ let dijkstra g ~source ?potential ?stop_at () =
   let pi =
     match potential with Some pi -> pi | None -> Array.make n 0.
   in
+  assert (Array.length pi = n);
+  (* bounds: proved — slice fetched under csr_valid (finalize_csr above) *)
+  let csr_dst = Graph.unsafe_csr_dst g in
+  (* bounds: proved — slice fetched under csr_valid (finalize_csr above) *)
+  let csr_cost = Graph.unsafe_csr_cost g in
+  (* bounds: proved — slice fetched under csr_valid (finalize_csr above) *)
+  let csr_cap = Graph.unsafe_csr_cap g in
+  (* bounds: proved — slice fetched under csr_valid (finalize_csr above) *)
+  let csr_arc = Graph.unsafe_csr_arc g in
   let stop = match stop_at with Some s -> s | None -> -1 in
   let heap = Heap.create () in
   dist.(source) <- 0.;
@@ -34,20 +52,32 @@ let dijkstra g ~source ?potential ?stop_at () =
         assert (d = dist.(u));
         if u = stop then finished := true
         else begin
+          (* The potential is read-only for the whole pass, so the settled
+             node's entry is hoisted out of its arc scan. *)
+          let pi_u = pi.(u) in
           p := Graph.out_begin g u;
           let stop_p = Graph.out_end g u in
           while !p < stop_p do
-            if Graph.pos_residual_capacity g !p > 0 then begin
-              let v = Graph.pos_dst g !p in
-              if not settled.(v) then begin
-                let rc = Graph.pos_cost g !p +. pi.(u) -. pi.(v) in
+            (* bounds: proved — p < out_end <= arc_count <= |csr_cap| *)
+            if A.unsafe_get csr_cap !p > 0 then begin
+              (* bounds: proved — p < out_end <= arc_count <= |csr_dst| *)
+              let v = A.unsafe_get csr_dst !p in
+              (* bounds: proved — v = csr_dst.(p) < node_count = |settled| *)
+              if not (A.unsafe_get settled v) then begin
+                let rc =
+                  (* bounds: proved — p < arc_count <= |csr_cost|; v < node_count = |pi| *)
+                  A.unsafe_get csr_cost !p +. pi_u -. A.unsafe_get pi v
+                in
                 (* Reduced costs must be non-negative; tolerate tiny
                    floating-point slack from potential updates. *)
                 let rc = if rc < 0. then (assert (rc > -1e-9); 0.) else rc in
                 let nd = d +. rc in
-                if nd < dist.(v) then begin
-                  dist.(v) <- nd;
-                  parent_arc.(v) <- Graph.pos_arc g !p;
+                (* bounds: proved — v = csr_dst.(p) < node_count = |dist| *)
+                if nd < A.unsafe_get dist v then begin
+                  (* bounds: proved — v < node_count = |dist| *)
+                  A.unsafe_set dist v nd;
+                  (* bounds: proved — v < node_count = |parent_arc|; p < arc_count <= |csr_arc| *)
+                  A.unsafe_set parent_arc v (A.unsafe_get csr_arc !p);
                   Heap.push heap nd v
                 end
               end
@@ -65,6 +95,14 @@ let bellman_ford g ~source =
   let n = Graph.node_count g in
   let dist = Array.make n infinity in
   let parent_arc = Array.make n (-1) in
+  (* bounds: proved — slice fetched under csr_valid (finalize_csr above) *)
+  let csr_dst = Graph.unsafe_csr_dst g in
+  (* bounds: proved — slice fetched under csr_valid (finalize_csr above) *)
+  let csr_cost = Graph.unsafe_csr_cost g in
+  (* bounds: proved — slice fetched under csr_valid (finalize_csr above) *)
+  let csr_cap = Graph.unsafe_csr_cap g in
+  (* bounds: proved — slice fetched under csr_valid (finalize_csr above) *)
+  let csr_arc = Graph.unsafe_csr_arc g in
   dist.(source) <- 0.;
   let changed = ref true in
   let rounds = ref 0 in
@@ -74,16 +112,23 @@ let bellman_ford g ~source =
     changed := false;
     incr rounds;
     for u = 0 to n - 1 do
-      if dist.(u) < infinity then begin
+      (* bounds: proved — u < n = |dist| *)
+      if A.unsafe_get dist u < infinity then begin
         p := Graph.out_begin g u;
         let stop_p = Graph.out_end g u in
         while !p < stop_p do
-          if Graph.pos_residual_capacity g !p > 0 then begin
-            let v = Graph.pos_dst g !p in
-            let nd = dist.(u) +. Graph.pos_cost g !p in
-            if nd < dist.(v) -. 1e-12 then begin
-              dist.(v) <- nd;
-              parent_arc.(v) <- Graph.pos_arc g !p;
+          (* bounds: proved — p < out_end <= arc_count <= |csr_cap| *)
+          if A.unsafe_get csr_cap !p > 0 then begin
+            (* bounds: proved — p < out_end <= arc_count <= |csr_dst| *)
+            let v = A.unsafe_get csr_dst !p in
+            (* bounds: proved — u < n = |dist|; p < arc_count <= |csr_cost| *)
+            let nd = A.unsafe_get dist u +. A.unsafe_get csr_cost !p in
+            (* bounds: proved — v = csr_dst.(p) < node_count = |dist| *)
+            if nd < A.unsafe_get dist v -. 1e-12 then begin
+              (* bounds: proved — v < node_count = |dist| *)
+              A.unsafe_set dist v nd;
+              (* bounds: proved — v < node_count = |parent_arc|; p < arc_count <= |csr_arc| *)
+              A.unsafe_set parent_arc v (A.unsafe_get csr_arc !p);
               changed := true
             end
           end;

@@ -17,7 +17,9 @@ val dijkstra :
     be non-negative for arcs with residual capacity (Johnson's trick). The
     returned distances are the {e reduced} distances; callers converting back
     to true distances add [pi(dst) - pi(source)]. Omitting [potential] runs
-    plain Dijkstra and requires non-negative costs.
+    plain Dijkstra and requires non-negative costs. A supplied [potential]
+    must have exactly [node_count] entries (asserted at entry; the stage-4
+    bounds proofs for the relaxation kernel rest on it).
 
     With [stop_at] the search halts as soon as that node is settled; its
     distance and parents along its shortest path are exact, while other

@@ -1,5 +1,11 @@
 module Pool = Geacc_par.Pool
 
+(* The box-dimension walks index [lo]/[hi] through [Geacc_unsafe] under
+   stage-4 licences: the equal-length asserts are the facts the @bounds
+   proofs rest on. Point reads stay checked — their lengths are
+   data-dependent. See DESIGN.md §13. *)
+module A = Geacc_unsafe
+
 type node = {
   lo : Point.t;
   hi : Point.t;
@@ -13,9 +19,11 @@ and kind =
 type t = { points : Point.t array; root : node option }
 
 let widest_dimension lo hi =
+  assert (Array.length hi = Array.length lo);
   let best = ref 0 and spread = ref (hi.(0) -. lo.(0)) in
   for k = 1 to Array.length lo - 1 do
-    let s = hi.(k) -. lo.(k) in
+    (* bounds: proved — k < |lo| = |hi| (asserted above) *)
+    let s = A.unsafe_get hi k -. A.unsafe_get lo k in
     if s > !spread then begin
       spread := s;
       best := k

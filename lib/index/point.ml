@@ -1,12 +1,19 @@
 type t = float array
 
+(* The coordinate loops index their arrays through [Geacc_unsafe] under
+   stage-4 licences: each function's equal-length assert is the fact the
+   @bounds proofs rest on. `--profile safe` compiles the same sites back
+   to checked accesses. See DESIGN.md §13. *)
+module A = Geacc_unsafe
+
 let dim = Array.length
 
 let[@inline] dist2 a b =
   assert (Array.length a = Array.length b);
   let acc = ref 0. in
   for i = 0 to Array.length a - 1 do
-    let d = a.(i) -. b.(i) in
+    (* bounds: proved — i < |a| = |b| (asserted above) *)
+    let d = A.unsafe_get a i -. A.unsafe_get b i in
     acc := !acc +. (d *. d)
   done;
   !acc
@@ -14,11 +21,18 @@ let[@inline] dist2 a b =
 let dist a b = sqrt (dist2 a b)
 
 let min_dist2_to_box q ~lo ~hi =
+  assert (Array.length lo = Array.length q && Array.length hi = Array.length q);
   let acc = ref 0. in
   for i = 0 to Array.length q - 1 do
     let d =
-      if q.(i) < lo.(i) then lo.(i) -. q.(i)
-      else if q.(i) > hi.(i) then q.(i) -. hi.(i)
+      (* bounds: proved — i < |q| = |lo| = |hi| (asserted above) *)
+      if A.unsafe_get q i < A.unsafe_get lo i then
+        (* bounds: proved — i < |lo| = |q| (asserted above) *)
+        A.unsafe_get lo i -. A.unsafe_get q i
+      (* bounds: proved — i < |q| = |hi| (asserted above) *)
+      else if A.unsafe_get q i > A.unsafe_get hi i then
+        (* bounds: proved — i < |q| = |hi| (asserted above) *)
+        A.unsafe_get q i -. A.unsafe_get hi i
       else 0.
     in
     acc := !acc +. (d *. d)
@@ -28,6 +42,7 @@ let min_dist2_to_box q ~lo ~hi =
 let bounding_box points idxs ~lo ~hi =
   assert (Array.length idxs > 0);
   let d = Array.length lo in
+  assert (Array.length hi = d);
   let first = points.(idxs.(0)) in
   Array.blit first 0 lo 0 d;
   Array.blit first 0 hi 0 d;
@@ -35,8 +50,10 @@ let bounding_box points idxs ~lo ~hi =
     (fun i ->
       let p = points.(i) in
       for k = 0 to d - 1 do
-        if p.(k) < lo.(k) then lo.(k) <- p.(k);
-        if p.(k) > hi.(k) then hi.(k) <- p.(k)
+        (* bounds: proved — k < d = |lo| (asserted above); p.(k) stays checked *)
+        if p.(k) < A.unsafe_get lo k then A.unsafe_set lo k p.(k);
+        (* bounds: proved — k < d = |hi| (asserted above); p.(k) stays checked *)
+        if p.(k) > A.unsafe_get hi k then A.unsafe_set hi k p.(k)
       done)
     idxs
 

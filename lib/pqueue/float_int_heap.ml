@@ -1,3 +1,11 @@
+(* Array accesses in the sift loops go through [Geacc_unsafe] under
+   stage-4 licences: the @bounds analyzer re-proves every licensed index
+   from the heap invariant [0 <= size <= |keys| = |payloads|] (seeded at
+   every [t.size] read, runtime-verified by [check_invariant]) and the
+   [grow] postcondition [size < |keys|]. `--profile safe` compiles the
+   same sites back to checked accesses. See DESIGN.md §13. *)
+module A = Geacc_unsafe
+
 type t = {
   mutable keys : float array;
   mutable payloads : int array;
@@ -28,15 +36,20 @@ let push t key payload =
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if t.keys.(parent) > key then begin
-      t.keys.(!i) <- t.keys.(parent);
-      t.payloads.(!i) <- t.payloads.(parent);
+    (* bounds: proved — 0 <= parent < i <= size0 < |keys| after grow *)
+    if A.unsafe_get t.keys parent > key then begin
+      (* bounds: proved — i <= size0 < |keys|, parent = (i-1)/2 < i *)
+      A.unsafe_set t.keys !i (A.unsafe_get t.keys parent);
+      (* bounds: proved — i <= size0 < |payloads|, parent = (i-1)/2 < i *)
+      A.unsafe_set t.payloads !i (A.unsafe_get t.payloads parent);
       i := parent
     end
     else continue := false
   done;
-  t.keys.(!i) <- key;
-  t.payloads.(!i) <- payload
+  (* bounds: proved — 0 <= i <= size0 < |keys| = |payloads| after grow *)
+  A.unsafe_set t.keys !i key;
+  (* bounds: proved — 0 <= i <= size0 < |payloads| after grow *)
+  A.unsafe_set t.payloads !i payload
 
 (* Unboxed access to the minimum: [min_key]/[min_payload]/[drop_min] let a
    hot loop pop without materialising the [Some (key, payload)] pair that
@@ -44,18 +57,23 @@ let push t key payload =
 
 let[@inline] min_key t =
   if t.size = 0 then invalid_arg "Float_int_heap.min_key: empty heap";
-  t.keys.(0)
+  (* bounds: proved — size >= 1 and size <= |keys|, so |keys| >= 1 *)
+  A.unsafe_get t.keys 0
 
 let[@inline] min_payload t =
   if t.size = 0 then invalid_arg "Float_int_heap.min_payload: empty heap";
-  t.payloads.(0)
+  (* bounds: proved — size >= 1 and size <= |payloads|, so |payloads| >= 1 *)
+  A.unsafe_get t.payloads 0
 
 let drop_min t =
   if t.size = 0 then invalid_arg "Float_int_heap.drop_min: empty heap";
   t.size <- t.size - 1;
   if t.size > 0 then begin
     (* Sift the former last element down from the root with a hole. *)
-    let key = t.keys.(t.size) and payload = t.payloads.(t.size) in
+    (* bounds: proved — new size = size0 - 1 in [1, |keys| - 1] *)
+    let key = A.unsafe_get t.keys t.size in
+    (* bounds: proved — new size = size0 - 1 in [1, |payloads| - 1] *)
+    let payload = A.unsafe_get t.payloads t.size in
     let i = ref 0 in
     let continue = ref true in
     while !continue do
@@ -63,30 +81,47 @@ let drop_min t =
       let l = (2 * at) + 1 and r = (2 * at) + 2 in
       (* Smaller child if both exist, else the left one; every comparison
          reads the arrays directly so no float is ever bound (and boxed). *)
-      let c = if r < t.size && t.keys.(r) < t.keys.(l) then r else l in
-      if c < t.size && t.keys.(c) < key then begin
-        t.keys.(at) <- t.keys.(c);
-        t.payloads.(at) <- t.payloads.(c);
+      let c =
+        (* bounds: proved — guard r < size <= |keys| covers l = r - 1 too *)
+        if r < t.size && A.unsafe_get t.keys r < A.unsafe_get t.keys l then r
+        else l
+      in
+      (* bounds: proved — guard c < size <= |keys| *)
+      if c < t.size && A.unsafe_get t.keys c < key then begin
+        (* bounds: proved — at <= size - 1 < |keys|, c < size from the guard *)
+        A.unsafe_set t.keys at (A.unsafe_get t.keys c);
+        (* bounds: proved — at <= size - 1 < |payloads|, c < size from the guard *)
+        A.unsafe_set t.payloads at (A.unsafe_get t.payloads c);
         i := c
       end
       else continue := false
     done;
-    t.keys.(!i) <- key;
-    t.payloads.(!i) <- payload
+    (* bounds: proved — i <= size - 1 < |keys| (hole index stays in the heap) *)
+    A.unsafe_set t.keys !i key;
+    (* bounds: proved — i <= size - 1 < |payloads| (hole index stays in the heap) *)
+    A.unsafe_set t.payloads !i payload
   end
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top_key = t.keys.(0) and top_payload = t.payloads.(0) in
+    (* bounds: proved — size >= 1 and size <= |keys| = |payloads| *)
+    let top_key = A.unsafe_get t.keys 0 and top_payload = A.unsafe_get t.payloads 0 in
     drop_min t;
     Some (top_key, top_payload)
   end
 
 let clear t = t.size <- 0
 
+(* Audit hook: beyond heap order this now also re-verifies the structural
+   invariant the stage-4 bounds proofs are seeded from. *)
 let check_invariant t =
-  let ok = ref true in
+  let ok =
+    ref
+      (0 <= t.size
+      && t.size <= Array.length t.keys
+      && Array.length t.keys = Array.length t.payloads)
+  in
   for i = 1 to t.size - 1 do
     if t.keys.((i - 1) / 2) > t.keys.(i) then ok := false
   done;

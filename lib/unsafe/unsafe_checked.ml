@@ -1,0 +1,8 @@
+(* `--profile safe` implementation of Geacc_unsafe: the same names as
+   unsafe_fast.ml, mapped to the bounds-checked primitives. The audited and
+   fuzz CI legs build with this profile so every licensed unsafe_* site in
+   the kernels runs fully checked; the fuzz-differential job then asserts
+   the two profiles produce byte-identical results. See DESIGN.md §13. *)
+
+external unsafe_get : 'a array -> int -> 'a = "%array_safe_get"
+external unsafe_set : 'a array -> int -> 'a -> unit = "%array_safe_set"

@@ -1,0 +1,8 @@
+(* Checked fallback for stage-4 licensed sites (`--profile safe`).
+
+   Same names as unsafe_fast.mli, but every access is bounds-checked: a
+   stale licence that slipped past the analyzer turns into an
+   [Invalid_argument] trap instead of memory corruption. *)
+
+external unsafe_get : 'a array -> int -> 'a = "%array_safe_get"
+external unsafe_set : 'a array -> int -> 'a -> unit = "%array_safe_set"

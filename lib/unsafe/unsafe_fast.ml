@@ -1,0 +1,8 @@
+(* Default-profile implementation of Geacc_unsafe: the unchecked array
+   primitives. Every call site of these names must carry a stage-4 licence
+   `(* bounds: proved — <invariant> *)` that `dune build @bounds` re-proves
+   on every build; the `safe` profile swaps in unsafe_checked.ml, which maps
+   the same names to bounds-checked accesses. See DESIGN.md §13. *)
+
+external unsafe_get : 'a array -> int -> 'a = "%array_unsafe_get"
+external unsafe_set : 'a array -> int -> 'a -> unit = "%array_unsafe_set"

@@ -1,0 +1,10 @@
+(* Unchecked array access for stage-4 licensed sites (default profiles).
+
+   [unsafe_get a i] / [unsafe_set a i v] compile to the raw load/store with
+   no bounds check. A call site is only legal under a licence comment
+   `(* bounds: proved — <invariant> *)` whose proof the @bounds analyzer
+   re-verifies on every build; under `--profile safe` the same names are
+   the checked primitives (see unsafe_checked.mli). *)
+
+external unsafe_get : 'a array -> int -> 'a = "%array_unsafe_get"
+external unsafe_set : 'a array -> int -> 'a -> unit = "%array_unsafe_set"

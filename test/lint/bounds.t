@@ -1,0 +1,164 @@
+geacc_bounds over .cmt fixtures compiled directly with ocamlc -bin-annot.
+The stage-4 pass re-proves every array index site by abstract
+interpretation; unsafe_* sites must additionally carry a reasoned
+`bounds: proved — <invariant>` licence the analyzer can re-verify.
+Scope mirrors the repo: lib/ bin/ bench/ are analyzed, lib/check/ and
+lib/unsafe/ are trusted.
+
+-- clean kernels: proved sites under reasoned licences ------------------
+
+A for-loop bound proves `i < |a|`; an equal-length assert transports the
+bound to a second array; one licence on the line above covers every
+unsafe site on the next line:
+
+  $ mkdir -p proj/lib/flow
+  $ cat > proj/lib/flow/kernel.ml <<'EOF'
+  > external unsafe_get : 'a array -> int -> 'a = "%array_unsafe_get"
+  > external unsafe_set : 'a array -> int -> 'a -> unit = "%array_unsafe_set"
+  > 
+  > let sum a =
+  >   let acc = ref 0 in
+  >   for i = 0 to Array.length a - 1 do
+  >     (* bounds: proved — i < |a| (for-loop bound) *)
+  >     acc := !acc + unsafe_get a i
+  >   done;
+  >   !acc
+  > 
+  > let fill a v =
+  >   for i = 0 to Array.length a - 1 do
+  >     (* bounds: proved — i < |a| (for-loop bound) *)
+  >     unsafe_set a i v
+  >   done
+  > 
+  > let dot a b =
+  >   assert (Array.length b = Array.length a);
+  >   let acc = ref 0. in
+  >   for i = 0 to Array.length a - 1 do
+  >     (* bounds: proved — i < |a| = |b| (asserted above) *)
+  >     acc := !acc +. (unsafe_get a i *. unsafe_get b i)
+  >   done;
+  >   !acc
+  > EOF
+  $ ocamlc -bin-annot -c proj/lib/flow/kernel.ml
+  $ geacc_bounds proj
+  geacc_bounds: clean
+
+GEACC_BOUNDS_SUMMARY=1 prints per-file proved/unknown counters (the
+checked sites feed the same counters as the licensed unsafe ones):
+
+  $ GEACC_BOUNDS_SUMMARY=1 geacc_bounds proj 2>&1
+  geacc_bounds: clean
+  proj/lib/flow/kernel.ml: 4 proved, 0 unknown
+
+-- every finding form in one module -------------------------------------
+
+Missing licence, bare licence (no invariant stated), stale licence the
+analyzer cannot re-prove, two provably out-of-bounds checked accesses,
+an unsafe_* definition without a contract licence, and a licence line no
+site consumes:
+
+  $ cat > proj/lib/flow/bad.ml <<'EOF'
+  > external unsafe_get : 'a array -> int -> 'a = "%array_unsafe_get"
+  > 
+  > let first a = unsafe_get a 0
+  > 
+  > let second a =
+  >   (* bounds: proved *)
+  >   unsafe_get a 1
+  > 
+  > let stale a i =
+  >   (* bounds: proved — i is always in range (it is not) *)
+  >   unsafe_get a i
+  > 
+  > let off_end a = a.(Array.length a)
+  > 
+  > let negative a = a.(-1)
+  > 
+  > let unsafe_frob a i = a.(i)
+  > 
+  > (* bounds: proved — justifies nothing below *)
+  > let unrelated x = x + 1
+  > EOF
+  $ ocamlc -bin-annot -c proj/lib/flow/bad.ml
+  $ geacc_bounds proj
+  proj/lib/flow/bad.ml:3:14: [bounds-unlicensed] unsafe array access without a `bounds: proved — <reason>` licence
+  proj/lib/flow/bad.ml:7:2: [bounds-unlicensed] unsafe array access under a bare licence (no invariant stated)
+  proj/lib/flow/bad.ml:11:2: [bounds-unproved] stale licence: the analyzer cannot re-prove this unsafe access
+  proj/lib/flow/bad.ml:13:16: [bounds-out-of-bounds] index is provably outside the array
+  proj/lib/flow/bad.ml:15:17: [bounds-out-of-bounds] index is provably outside the array
+  proj/lib/flow/bad.ml:17:4: [bounds-unsafe-def] definition of unsafe_frob needs a `bounds: proved — <contract>` licence stating what callers owe
+  proj/lib/flow/bad.ml:19:0: [bounds-orphan-licence] licence justifies no unsafe site (stale or misplaced)
+  [1]
+
+The same report as machine-readable JSON:
+
+  $ geacc_bounds --format json proj
+  [
+    {"file": "proj/lib/flow/bad.ml", "line": 3, "col": 14, "rule": "bounds-unlicensed", "message": "unsafe array access without a `bounds: proved — <reason>` licence"},
+    {"file": "proj/lib/flow/bad.ml", "line": 7, "col": 2, "rule": "bounds-unlicensed", "message": "unsafe array access under a bare licence (no invariant stated)"},
+    {"file": "proj/lib/flow/bad.ml", "line": 11, "col": 2, "rule": "bounds-unproved", "message": "stale licence: the analyzer cannot re-prove this unsafe access"},
+    {"file": "proj/lib/flow/bad.ml", "line": 13, "col": 16, "rule": "bounds-out-of-bounds", "message": "index is provably outside the array"},
+    {"file": "proj/lib/flow/bad.ml", "line": 15, "col": 17, "rule": "bounds-out-of-bounds", "message": "index is provably outside the array"},
+    {"file": "proj/lib/flow/bad.ml", "line": 17, "col": 4, "rule": "bounds-unsafe-def", "message": "definition of unsafe_frob needs a `bounds: proved — <contract>` licence stating what callers owe"},
+    {"file": "proj/lib/flow/bad.ml", "line": 19, "col": 0, "rule": "bounds-orphan-licence", "message": "licence justifies no unsafe site (stale or misplaced)"}
+  ]
+  [1]
+
+-- scope: trusted and out-of-scope trees are skipped --------------------
+
+lib/unsafe/ is where checked/unchecked access is profile-switched — it
+is trusted, not analyzed. Paths outside lib/ bin/ bench/ (tools,
+tests) are out of scope entirely:
+
+  $ mkdir -p scope/lib/unsafe scope/lib/flow scope/tools
+  $ cat > scope/lib/unsafe/geacc_unsafe.ml <<'EOF'
+  > external unsafe_get : 'a array -> int -> 'a = "%array_unsafe_get"
+  > let grab a = unsafe_get a 42
+  > EOF
+  $ cp scope/lib/unsafe/geacc_unsafe.ml scope/tools/helper.ml
+  $ ocamlc -bin-annot -c scope/lib/unsafe/geacc_unsafe.ml
+  $ ocamlc -bin-annot -c scope/tools/helper.ml
+  $ geacc_bounds scope
+  geacc_bounds: clean
+
+-- safe-profile fallback ------------------------------------------------
+
+Under `--profile safe` the Geacc_unsafe externals compile to the checked
+primitives (unsafe_checked.ml maps the same names to %array_safe_get /
+%array_safe_set). Licence discipline keys off the unsafe_* *name*, not
+the primitive, so the same licences are consumed and re-proved in both
+profiles — a proved one stays clean, a stale one still fails:
+
+  $ mkdir -p safep/lib/flow
+  $ cat > safep/lib/flow/kernel.ml <<'EOF'
+  > external unsafe_get : 'a array -> int -> 'a = "%array_safe_get"
+  > 
+  > let sum a =
+  >   let acc = ref 0 in
+  >   for i = 0 to Array.length a - 1 do
+  >     (* bounds: proved — i < |a| (for-loop bound) *)
+  >     acc := !acc + unsafe_get a i
+  >   done;
+  >   !acc
+  > 
+  > let stale a i =
+  >   (* bounds: proved — i is always in range (it is not) *)
+  >   unsafe_get a i
+  > EOF
+  $ ocamlc -bin-annot -c safep/lib/flow/kernel.ml
+  $ geacc_bounds safep
+  safep/lib/flow/kernel.ml:13:2: [bounds-unproved] stale licence: the analyzer cannot re-prove this unsafe access
+  [1]
+
+-- CLI -----------------------------------------------------------------
+
+  $ geacc_bounds --list-rules
+  bounds-unlicensed
+  bounds-unproved
+  bounds-out-of-bounds
+  bounds-unsafe-def
+  bounds-orphan-licence
+  cmt-error
+  $ geacc_bounds
+  usage: geacc_bounds [--format text|json] [--list-rules] DIR...
+  [2]

@@ -32,6 +32,38 @@ let config_of rng =
 
 let exact = [ Solver.Prune; Solver.Exhaustive ]
 
+(* GEACC_FUZZ_DIGEST=<path>: write a canonical digest of the sweep — per
+   seed and solver, MaxSum as exact float bits plus the matched pairs.
+   The safe/default profile differential CI job runs the sweep once per
+   profile and byte-compares the two files: licensed unsafe_* kernels and
+   their checked `--profile safe` twins must produce identical
+   arrangements, not merely close objectives. *)
+let digest_out = Sys.getenv_opt "GEACC_FUZZ_DIGEST"
+let digest_buf = Buffer.create 256
+
+let record_digest ~seed results =
+  match digest_out with
+  | None -> ()
+  | Some _ ->
+      List.iter
+        (fun (a, m) ->
+          Buffer.add_string digest_buf
+            (Printf.sprintf "%d %s %Lx |%s\n" seed (Solver.short_name a)
+               (Int64.bits_of_float (Matching.maxsum m))
+               (String.concat ";"
+                  (List.map
+                     (fun (v, u) -> Printf.sprintf "%d,%d" v u)
+                     (Matching.pairs m)))))
+        results
+
+let write_digest () =
+  match digest_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out_bin path in
+      output_string oc (Buffer.contents digest_buf);
+      close_out oc
+
 let check_instance ~seed t =
   let label a = Printf.sprintf "seed %d %s" seed (Solver.short_name a) in
   let results =
@@ -42,6 +74,7 @@ let check_instance ~seed t =
         (a, m))
       Solver.all
   in
+  record_digest ~seed results;
   (* 1. Feasibility, for every algorithm. *)
   List.iter
     (fun (a, m) ->
@@ -77,7 +110,8 @@ let test_differential () =
   for seed = 1 to n_instances do
     let t = Synthetic.generate ~seed (config_of shape_rng) in
     check_instance ~seed t
-  done
+  done;
+  write_digest ()
 
 (* ---------- dense vs sparse flow networks ---------- *)
 

@@ -1,5 +1,5 @@
-Bench trajectory: append wall-time snapshots keyed by SHA, warn on
-regressions beyond the threshold.
+Bench trajectory: append wall-time and peak-heap snapshots keyed by
+SHA, warn on regressions beyond the threshold.
 
 A first artifact in the shape experiments.ml writes (nested per-cell
 objects, cells named by their "name" member):
@@ -31,8 +31,16 @@ The first run has no prior snapshot to compare against — it just records:
         "sha": "aaa1111",
         "experiment": "sparse-flow",
         "cells": {
-          "cells.uniform-eq1.dense": 0.1,
-          "cells.uniform-eq1.sparse": 0.05
+          "cells.uniform-eq1.dense": {
+            "wall_s": 0.1,
+            "peak_bytes": 1000,
+            "peak_mode": "exact"
+          },
+          "cells.uniform-eq1.sparse": {
+            "wall_s": 0.05,
+            "peak_bytes": 900,
+            "peak_mode": "exact"
+          }
         }
       }
     ]
@@ -93,6 +101,42 @@ history exists:
   > EOF
   $ geacc_bench_trajectory --sha ddd4444 BENCH_other.json
   recorded other: 1 cell(s) at ddd4444
+
+Peak-heap cells are gated too, but only exact-vs-exact: a gc-delta
+measurement on either side is Gc-sampling noise, so those comparisons
+are skipped rather than warned on. Baseline — one exact cell, one
+gc-delta cell, one exact cell that will later degrade to gc-delta:
+
+  $ cat > BENCH_peak.json <<'EOF'
+  > {
+  >   "experiment": "peak-demo",
+  >   "cells": [
+  >     { "name": "k", "run": { "wall_s": 1.0, "peak_bytes": 1000, "peak_mode": "exact" } },
+  >     { "name": "g", "run": { "wall_s": 1.0, "peak_bytes": 1000, "peak_mode": "gc-delta" } },
+  >     { "name": "m", "run": { "wall_s": 1.0, "peak_bytes": 1000, "peak_mode": "exact" } }
+  >   ]
+  > }
+  > EOF
+  $ geacc_bench_trajectory --sha fff6666 BENCH_peak.json
+  recorded peak-demo: 3 cell(s) at fff6666
+
+All three peaks double (well past 25%), wall times hold still. Only the
+exact-vs-exact cell warns; the gc-delta cell and the mode-flipped cell
+are skipped:
+
+  $ cat > BENCH_peak.json <<'EOF'
+  > {
+  >   "experiment": "peak-demo",
+  >   "cells": [
+  >     { "name": "k", "run": { "wall_s": 1.0, "peak_bytes": 2000, "peak_mode": "exact" } },
+  >     { "name": "g", "run": { "wall_s": 1.0, "peak_bytes": 2000, "peak_mode": "gc-delta" } },
+  >     { "name": "m", "run": { "wall_s": 1.0, "peak_bytes": 2000, "peak_mode": "gc-delta" } }
+  >   ]
+  > }
+  > EOF
+  $ geacc_bench_trajectory --sha ggg7777 BENCH_peak.json
+  ::warning title=bench regression::peak-demo cells.k.run peak heap 1000B -> 2000B (+100% vs fff6666, threshold 25%)
+  recorded peak-demo: 3 cell(s) at ggg7777
 
 An unreadable artifact is a hard failure (CI must notice), unlike a
 regression:

@@ -4,19 +4,26 @@
      bench_trajectory --sha SHA [--trajectory FILE] [--threshold PCT]
        BENCH_*.json...
 
-   Each input artifact is scanned for every numeric "wall_s" field; the
-   dotted path to the field (array elements named by their "name" member
-   when they have one) identifies the cell. One snapshot per artifact —
-   { sha; experiment; cells } — is appended to the trajectory file
-   (default BENCH_TRAJECTORY.json), so successive CI runs accumulate a
-   per-commit history of every timed cell.
+   Each input artifact is scanned for every object carrying a numeric
+   "wall_s" field; the dotted path to the object (array elements named by
+   their "name" member when they have one) identifies the cell. A cell
+   that also carries "peak_bytes" contributes its peak-heap measurement
+   alongside, together with its "peak_mode" ("exact" from the alarm-driven
+   sampler, "gc-delta" from the cheap fallback — see Measure.with_peak).
+   One snapshot per artifact — { sha; experiment; cells } — is appended to
+   the trajectory file (default BENCH_TRAJECTORY.json), so successive CI
+   runs accumulate a per-commit history of every timed cell.
 
    Before appending, each new snapshot is compared against the most recent
-   prior snapshot of the same experiment: any cell whose wall time grew by
-   more than the threshold (default 25%) prints a `::warning::` line in
-   GitHub problem-matcher syntax. Regressions warn — bench timings on
-   shared CI runners are too noisy to gate a merge on — so the exit status
-   is 0 unless an artifact cannot be read or parsed. *)
+   prior snapshot of the same experiment: any cell whose wall time or peak
+   heap grew by more than the threshold (default 25%) prints a
+   `::warning::` line in GitHub problem-matcher syntax. Peak-heap cells
+   are only compared when BOTH sides were measured in "exact" mode —
+   gc-delta numbers are Gc-sampling noise, and comparing them against
+   exact ones manufactures spurious regressions, so mixed or gc-delta
+   pairs are skipped. Regressions warn — bench numbers on shared CI
+   runners are too noisy to gate a merge on — so the exit status is 0
+   unless an artifact cannot be read or parsed. *)
 
 (* -- Minimal JSON (stdlib only) ---------------------------------------- *)
 
@@ -244,20 +251,37 @@ let member key = function
 
 (* -- Cell extraction ---------------------------------------------------- *)
 
-(* Every numeric "wall_s" leaf, addressed by its dotted path. Array
-   elements carrying a string "name" member are addressed by that name
-   (stable across reordering); anonymous elements fall back to their
-   index. *)
-let collect_wall_cells root =
+(* Every object carrying a numeric "wall_s" leaf, addressed by its dotted
+   path. Array elements carrying a string "name" member are addressed by
+   that name (stable across reordering); anonymous elements fall back to
+   their index. A sibling "peak_bytes" rides along with its "peak_mode"
+   (artifacts written before the mode tag are treated as exact, which is
+   what they were). *)
+type cell = { path : string; wall : float; peak : (float * string) option }
+
+let collect_cells root =
   let cells = ref [] in
   let rec go path v =
     match v with
     | Obj members ->
+        (match List.assoc_opt "wall_s" members with
+        | Some (Num wall) ->
+            let peak =
+              match
+                ( List.assoc_opt "peak_bytes" members,
+                  List.assoc_opt "peak_mode" members )
+              with
+              | Some (Num p), Some (Str mode) -> Some (p, mode)
+              | Some (Num p), _ -> Some (p, "exact")
+              | _ -> None
+            in
+            cells :=
+              { path = String.concat "." (List.rev path); wall; peak }
+              :: !cells
+        | _ -> ());
         List.iter
           (fun (k, v') ->
-            match (k, v') with
-            | "wall_s", Num f -> cells := (String.concat "." (List.rev path), f) :: !cells
-            | _ -> go (k :: path) v')
+            match (k, v') with "wall_s", Num _ -> () | _ -> go (k :: path) v')
           members
     | Arr items ->
         List.iteri
@@ -311,21 +335,55 @@ let last_snapshot_for ~experiment snaps =
 
 (* -- Regression check --------------------------------------------------- *)
 
+(* Stored cell values are a bare Num (wall time only — the pre-peak
+   snapshot shape, still written for cells without a peak measurement) or
+   an object carrying wall_s plus peak_bytes/peak_mode. *)
+let stored_wall = function
+  | Num f -> Some f
+  | Obj _ as o -> (
+      match member "wall_s" o with Some (Num f) -> Some f | _ -> None)
+  | _ -> None
+
+let stored_peak = function
+  | Obj _ as o -> (
+      match (member "peak_bytes" o, member "peak_mode" o) with
+      | Some (Num p), Some (Str mode) -> Some (p, mode)
+      | Some (Num p), _ -> Some (p, "exact")
+      | _ -> None)
+  | _ -> None
+
 let warn_regressions ~threshold ~experiment ~prev_sha prev_cells new_cells =
   let any = ref false in
+  let grew before now =
+    before > 0. && now > before *. (1. +. (threshold /. 100.))
+  in
   List.iter
-    (fun (cell, now) ->
-      match List.assoc_opt cell prev_cells with
-      | Some (Num before)
-        when before > 0. && now > before *. (1. +. (threshold /. 100.)) ->
-          any := true;
-          Printf.printf
-            "::warning title=bench regression::%s %s wall time %.6fs -> \
-             %.6fs (+%.0f%% vs %s, threshold %.0f%%)\n"
-            experiment cell before now
-            (100. *. ((now /. before) -. 1.))
-            prev_sha threshold
-      | _ -> ())
+    (fun c ->
+      match List.assoc_opt c.path prev_cells with
+      | None -> ()
+      | Some prev ->
+          (match stored_wall prev with
+          | Some before when grew before c.wall ->
+              any := true;
+              Printf.printf
+                "::warning title=bench regression::%s %s wall time %.6fs -> \
+                 %.6fs (+%.0f%% vs %s, threshold %.0f%%)\n"
+                experiment c.path before c.wall
+                (100. *. ((c.wall /. before) -. 1.))
+                prev_sha threshold
+          | _ -> ());
+          (* Peak heap is only comparable exact-vs-exact: gc-delta numbers
+             are sampling noise, so any gc-delta side skips the check. *)
+          (match (stored_peak prev, c.peak) with
+          | Some (before, "exact"), Some (now, "exact") when grew before now ->
+              any := true;
+              Printf.printf
+                "::warning title=bench regression::%s %s peak heap %.0fB -> \
+                 %.0fB (+%.0f%% vs %s, threshold %.0f%%)\n"
+                experiment c.path before now
+                (100. *. ((now /. before) -. 1.))
+                prev_sha threshold
+          | _ -> ()))
     new_cells;
   !any
 
@@ -378,7 +436,7 @@ let () =
           Printf.eprintf "bench_trajectory: %s: %s\n" path msg
       | root ->
           let experiment = experiment_of ~path root in
-          let cells = collect_wall_cells root in
+          let cells = collect_cells root in
           (match last_snapshot_for ~experiment !snaps with
           | Some prev ->
               let prev_sha =
@@ -390,12 +448,24 @@ let () =
               in
               ()
           | None -> ());
+          let cell_value c =
+            match c.peak with
+            | None -> Num c.wall
+            | Some (p, mode) ->
+                Obj
+                  [
+                    ("wall_s", Num c.wall);
+                    ("peak_bytes", Num p);
+                    ("peak_mode", Str mode);
+                  ]
+          in
           let snap =
             Obj
               [
                 ("sha", Str sha);
                 ("experiment", Str experiment);
-                ("cells", Obj (List.map (fun (k, v) -> (k, Num v)) cells));
+                ( "cells",
+                  Obj (List.map (fun c -> (c.path, cell_value c)) cells) );
               ]
           in
           snaps := !snaps @ [ snap ];

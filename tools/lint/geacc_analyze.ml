@@ -549,11 +549,27 @@ let check_unsafe_reachability () =
         Queue.add d queue
       end)
     defs;
+  (* A call site carrying a stage-4 bounds licence is exempt: geacc_bounds
+     owns re-proving (or rejecting) the licence on every @bounds run, so
+     flagging it here would force a second, redundant exemption channel. *)
+  let bounds_licensed (loc : Location.t) =
+    let p = loc.loc_start in
+    match
+      Lint_core.reasoned_marker_status ~marker:"bounds: proved"
+        (source_lines p.pos_fname) p.pos_lnum
+    with
+    | Lint_core.Tag_with_reason, _ -> true
+    | _ -> false
+  in
   while not (Queue.is_empty queue) do
     let d = Queue.pop queue in
     List.iter
       (fun (m, name, loc) ->
-        if is_unsafe_name name && not (String.equal m d.d_unit) then
+        if
+          is_unsafe_name name
+          && (not (String.equal m d.d_unit))
+          && not (bounds_licensed loc)
+        then
           report loc "unsafe-reachable"
             (Printf.sprintf
                "%s.%s is reachable from %s.%s, outside lib/check; only the \
@@ -573,7 +589,12 @@ let check_unsafe_reachability () =
 (* ---------- driver ---------- *)
 
 let () =
-  let format, roots = Lint_core.parse_argv ~tool:"geacc_analyze" Sys.argv in
+  let rules =
+    [ "hot-loop-alloc"; "unsafe-reachable"; "missing-inline"; "cmt-error" ]
+  in
+  let format, roots =
+    Lint_core.parse_argv ~tool:"geacc_analyze" ~rules Sys.argv
+  in
   let skip_dir name = String.equal name ".git" in
   let files = List.concat_map (fun r -> Lint_core.walk ~skip_dir r []) roots in
   let cmts =

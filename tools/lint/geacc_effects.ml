@@ -960,7 +960,15 @@ let dump_summaries () =
 (* ---------- driver ---------- *)
 
 let () =
-  let format, roots = Lint_core.parse_argv ~tool:"geacc_effects" Sys.argv in
+  let rules =
+    [
+      "par-shared-write"; "par-nondet"; "poll-missing"; "csr-mirror-write";
+      "suppress-no-reason"; "cmt-error";
+    ]
+  in
+  let format, roots =
+    Lint_core.parse_argv ~tool:"geacc_effects" ~rules Sys.argv
+  in
   let skip_dir name = String.equal name ".git" in
   let files = List.concat_map (fun r -> Lint_core.walk ~skip_dir r []) roots in
   let cmts =

@@ -528,7 +528,14 @@ let check_missing_mli files =
 (* ---------- driver ---------- *)
 
 let () =
-  let format, roots = Lint_core.parse_argv ~tool:"geacc_lint" Sys.argv in
+  let rules =
+    List.map rule_id
+      [
+        Obj_magic; Poly_compare; Missing_mli; Partial_raise; Dune_unused_dep;
+        Dune_undeclared_dep; Parse_error;
+      ]
+  in
+  let format, roots = Lint_core.parse_argv ~tool:"geacc_lint" ~rules Sys.argv in
   let files = List.concat_map (fun r -> Lint_core.walk ~skip_dir r []) roots in
   let sources =
     List.filter

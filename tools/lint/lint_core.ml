@@ -61,11 +61,14 @@ let line_has_tag ~tags lines l =
 let suppressed ~tags lines l =
   line_has_tag ~tags lines l || line_has_tag ~tags lines (l - 1)
 
-(* ---------- reasoned suppression tags ---------- *)
+(* ---------- reasoned suppression tags and licences ---------- *)
 
 (* geacc_effects tags must justify themselves: "<tag>: ok — <reason>". A
    bare "<tag>: ok" is itself a diagnostic (suppress-no-reason), so an
-   exemption can never silently outlive its justification. *)
+   exemption can never silently outlive its justification. geacc_bounds
+   reuses the same grammar with the marker "bounds: proved" — a licence
+   rather than a suppression, since the analyzer re-verifies the claim —
+   so both go through the generic marker machinery below. *)
 
 type tag_status = No_tag | Tag_with_reason | Tag_without_reason
 
@@ -78,11 +81,10 @@ let find_sub s sub =
   in
   at 0
 
-let line_tag_status ~tag lines l =
+let line_marker_status ~marker lines l =
   if l < 1 || l > Array.length lines then No_tag
   else
     let line = lines.(l - 1) in
-    let marker = tag ^ ": ok" in
     match find_sub line marker with
     | None -> No_tag
     | Some i ->
@@ -103,12 +105,19 @@ let line_tag_status ~tag lines l =
         if String.exists is_word rest then Tag_with_reason
         else Tag_without_reason
 
+let line_tag_status ~tag lines l = line_marker_status ~marker:(tag ^ ": ok") lines l
+
 (* Same placement grammar as [suppressed]: the offending line or the line
-   directly above, nearest line wins. *)
+   directly above, nearest line wins. Returns the matched line alongside
+   the status so licence consumers can track which markers were used
+   (geacc_bounds reports the unused ones as orphans). *)
+let reasoned_marker_status ~marker lines l =
+  match line_marker_status ~marker lines l with
+  | No_tag -> (line_marker_status ~marker lines (l - 1), l - 1)
+  | s -> (s, l)
+
 let reasoned_tag_status ~tag lines l =
-  match line_tag_status ~tag lines l with
-  | No_tag -> line_tag_status ~tag lines (l - 1)
-  | s -> s
+  fst (reasoned_marker_status ~marker:(tag ^ ": ok") lines l)
 
 (* ---------- output ---------- *)
 
@@ -174,14 +183,21 @@ let emit ~format ~tool diags =
 
 (* ---------- command line ---------- *)
 
-(* Both tools accept:  TOOL [--format text|json] DIR...  *)
-let parse_argv ~tool argv =
+(* Every stage accepts:  TOOL [--format text|json] [--list-rules] DIR...
+   [--list-rules] prints the tool's rule ids one per line and exits 0, so
+   CI problem-matcher configs and docs can be checked against the binaries
+   instead of drifting silently. *)
+let parse_argv ~tool ?(rules = []) argv =
   let usage () =
-    Printf.eprintf "usage: %s [--format text|json] DIR...\n" tool;
+    Printf.eprintf "usage: %s [--format text|json] [--list-rules] DIR...\n"
+      tool;
     exit 2
   in
   let rec go fmt roots = function
     | [] -> (fmt, List.rev roots)
+    | "--list-rules" :: _ ->
+        List.iter print_endline rules;
+        exit 0
     | "--format" :: v :: rest -> (
         match v with
         | "text" -> go Text roots rest

@@ -458,6 +458,264 @@ let validate_cmd =
     (Cmd.info "validate" ~doc:"Check a matching file against an instance.")
     term
 
+(* -- serve ------------------------------------------------------------- *)
+
+module Serve = Geacc_serve
+
+let read_all ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 4096
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+let serve_cmd =
+  let trace_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "trace"; "t" ] ~docv:"FILE"
+          ~doc:"Trace file (geacc-trace 1); $(b,-) reads standard input.")
+  in
+  let state_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "state" ] ~docv:"DIR"
+          ~doc:
+            "State directory holding the write-ahead journal and snapshots; \
+             created if missing, recovered from if not empty.")
+  in
+  let repair_arg =
+    Arg.(
+      value & opt string "incremental"
+      & info [ "repair" ] ~docv:"MODE"
+          ~doc:
+            "Arrangement maintenance: $(b,incremental) (replay the dirty \
+             suffix, bit-identical to full), $(b,full) (replay every user \
+             each batch) or $(b,offline) (re-solve with the anytime \
+             mincostflow -> greedy chain).")
+  in
+  let dirty_threshold =
+    Arg.(
+      value & opt float 0.5
+      & info [ "dirty-threshold" ] ~docv:"FRAC"
+          ~doc:
+            "Dirty-suffix fraction above which the incremental stage is \
+             skipped in favour of a direct full replay.")
+  in
+  let batch_timeout =
+    Arg.(
+      value & opt float 0.
+      & info [ "batch-timeout" ] ~docv:"SECS"
+          ~doc:
+            "Per-batch repair deadline; an expired batch is acknowledged \
+             degraded (exit 3) and finished by later batches. 0 = none.")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Admission bound per timestamp group; $(b,must) batches always \
+             pass, excess $(b,should)/$(b,optional) batches are shed.")
+  in
+  let snapshot_every =
+    Arg.(
+      value & opt int 32
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "Snapshot the state and truncate the journal every N applied \
+             batches. 0 = never.")
+  in
+  let max_retries =
+    Arg.(
+      value & opt int 2
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:"Repair retries for transient faults (with backoff).")
+  in
+  let no_fsync =
+    Arg.(
+      value & flag
+      & info [ "no-fsync" ]
+          ~doc:
+            "Skip fsync on journal appends — faster, loses the crash-safety \
+             guarantee (benchmarks only).")
+  in
+  let digest_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "digest" ] ~docv:"FILE"
+          ~doc:
+            "Write the final state digest to FILE (crash-recovery CI \
+             compares these across runs).")
+  in
+  let run () trace_path state_dir repair_mode dirty_threshold batch_timeout
+      queue_cap snapshot_every max_retries no_fsync digest_file =
+    check_fault_plan ();
+    let mode =
+      match Serve.Serve_loop.mode_of_string repair_mode with
+      | Some m -> m
+      | None ->
+          die "unknown --repair mode %S (incremental, full or offline)"
+            repair_mode
+    in
+    let text =
+      if trace_path = "-" then read_all stdin
+      else
+        match
+          let ic = open_in trace_path in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        with
+        | exception Sys_error message -> die "%s: %s" trace_path message
+        | text -> text
+    in
+    let trace =
+      match Serve.Trace.parse text with
+      | Ok t -> t
+      | Error e -> die "%s" (Robust.Error.to_string e)
+    in
+    let config =
+      {
+        (Serve.Serve_loop.default ~state_dir) with
+        Serve.Serve_loop.mode;
+        dirty_threshold;
+        batch_timeout_s = batch_timeout;
+        queue_cap;
+        snapshot_every;
+        max_retries;
+        fsync = not no_fsync;
+      }
+    in
+    match
+      try Ok (Serve.Serve_loop.run config ~out:stdout trace)
+      with Robust.Fault.Injected { point } -> Error point
+    with
+    | Error point ->
+        (* A simulated crash: leave the state directory exactly as a dying
+           process would and report distinctly. *)
+        flush stdout;
+        Printf.eprintf "geacc: injected crash at %s\n" point;
+        exit 1
+    | Ok (Error e) -> die "%s" (Robust.Error.to_string e)
+    | Ok (Ok report) ->
+        (match digest_file with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc (report.Serve.Serve_loop.digest ^ "\n")));
+        Printf.eprintf
+          "serve: batches=%d admitted=%d shed=%d skipped=%d applied=%d \
+           errors=%d degraded=%d full-replays=%d snapshots=%d retries=%d \
+           replayed=%d injected-faults=%d\n"
+          report.Serve.Serve_loop.batches report.Serve.Serve_loop.admitted
+          report.Serve.Serve_loop.shed report.Serve.Serve_loop.skipped
+          report.Serve.Serve_loop.applied report.Serve.Serve_loop.errors
+          report.Serve.Serve_loop.degraded_batches
+          report.Serve.Serve_loop.full_replays
+          report.Serve.Serve_loop.snapshots report.Serve.Serve_loop.retries
+          report.Serve.Serve_loop.replayed
+          (Robust.Fault.fires ());
+        flush stdout;
+        flush stderr;
+        let status = Serve.Serve_loop.exit_status report in
+        if status <> 0 then exit status
+  in
+  let term =
+    Term.(
+      const run $ logs_term $ trace_arg $ state_arg $ repair_arg
+      $ dirty_threshold $ batch_timeout $ queue_cap $ snapshot_every
+      $ max_retries $ no_fsync $ digest_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the crash-safe serving loop over a timestamped batch trace: \
+          write-ahead journal, snapshot recovery, incremental repair and \
+          admission control.")
+    term
+
+(* -- generate-trace ---------------------------------------------------- *)
+
+let generate_trace_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output trace file.")
+  in
+  let city =
+    Arg.(
+      value
+      & opt city_conv Geacc_datagen.Meetup.auckland
+      & info [ "meetup" ] ~docv:"CITY"
+          ~doc:
+            "City population to stream (vancouver, auckland or singapore).")
+  in
+  let conflict_ratio =
+    Arg.(
+      value & opt float 0.25
+      & info [ "conflict-ratio" ] ~docv:"R"
+          ~doc:"Conflicting fraction of event pairs, in [0,1].")
+  in
+  let arrivals =
+    Arg.(
+      value & opt int 8
+      & info [ "arrivals-per-batch" ] ~docv:"N"
+          ~doc:"Mean user arrivals per batch (burst size).")
+  in
+  let churn =
+    Arg.(
+      value & opt float 0.1
+      & info [ "churn" ] ~docv:"P"
+          ~doc:"Expected user departures per batch.")
+  in
+  let run () out city conflict_ratio arrivals churn seed =
+    let trace =
+      Geacc_datagen.Trace_gen.generate ~seed ~city ~conflict_ratio
+        ~arrivals_per_batch:arrivals ~churn ()
+    in
+    Serve.Trace.write ~path:out trace;
+    Logs.app (fun m ->
+        m "wrote %s: %d batches over %d events, %d users" out
+          (List.length trace.Serve.Trace.batches)
+          city.Geacc_datagen.Meetup.n_events
+          city.Geacc_datagen.Meetup.n_users)
+  in
+  let term =
+    Term.(
+      const run $ logs_term $ out $ city $ conflict_ratio $ arrivals $ churn
+      $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "generate-trace"
+       ~doc:"Generate a Meetup-shaped timestamped workload trace for serve.")
+    term
+
+(* -- faults ------------------------------------------------------------ *)
+
+let faults_cmd =
+  let run () =
+    List.iter
+      (fun (point, doc) -> Printf.printf "%-16s %s\n" point doc)
+      Robust.Fault.known
+  in
+  let term = Term.(const run $ logs_term) in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "List the GEACC_FAULTS fault points the binaries are instrumented \
+          with.")
+    term
+
 (* -- info -------------------------------------------------------------- *)
 
 let info_cmd =
@@ -472,6 +730,14 @@ let main =
   let doc = "Conflict-aware event-participant arrangement (GEACC, ICDE 2015)" in
   Cmd.group
     (Cmd.info "geacc" ~version:"1.0.0" ~doc)
-    [ generate_cmd; solve_cmd; validate_cmd; info_cmd ]
+    [
+      generate_cmd;
+      generate_trace_cmd;
+      solve_cmd;
+      serve_cmd;
+      validate_cmd;
+      faults_cmd;
+      info_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -25,7 +25,7 @@ let check_order instance order =
 (* Serve one arrival: walk the user's neighbour ranks (descending
    similarity), taking every event that is feasible right now, until the
    user is full or the ranks run out. *)
-let serve matching instance ~deadline u =
+let serve_user matching instance ?(deadline = Budget.unlimited) u =
   (* The deadline is polled before each neighbour step: every [add] that ran
      passed the full feasibility check, so the served prefix stays feasible
      when the walk is cut short. *)
@@ -44,7 +44,7 @@ let serve matching instance ~deadline u =
 
 let solve_order ?(deadline = Budget.unlimited) instance order =
   let matching = Matching.create instance in
-  Array.iter (fun u -> serve matching instance ~deadline u) order;
+  Array.iter (fun u -> serve_user matching instance ~deadline u) order;
   matching
 
 let solve ?order ?deadline instance =

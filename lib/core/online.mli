@@ -24,6 +24,19 @@ val check_order :
     pinpoints the first problem: wrong length, out-of-range id, or
     duplicated id. *)
 
+val serve_user :
+  Matching.t -> Instance.t -> ?deadline:Geacc_robust.Budget.t -> int -> unit
+(** Serve one arrival into an arrangement under construction: walk user
+    [u]'s neighbour ranks (descending similarity), taking every event that
+    is feasible right now, until the user is full or the ranks run out.
+    [deadline] is polled before every neighbour step; every prefix of the
+    walk leaves the matching feasible, so a cut-short serve is safe.
+
+    This is the repair primitive of the serving loop ([Geacc_serve]): the
+    online arrangement is {e prefix-stable} — a user's assignment depends
+    only on users served before them — so re-serving a suffix of the
+    arrival order reproduces exactly what a full replay would compute. *)
+
 val solve :
   ?order:int array ->
   ?deadline:Geacc_robust.Budget.t ->

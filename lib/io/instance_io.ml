@@ -8,6 +8,8 @@ let fail ~line fmt =
 
 (* -- Saving ---------------------------------------------------------- *)
 
+(* Shared with the serve-mode trace/snapshot formats, which carry the same
+   `sim ...` header line. *)
 let sim_header sim =
   match Similarity.spec sim with
   | Similarity.Spec_euclidean { dim; range } ->

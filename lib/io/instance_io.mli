@@ -42,6 +42,17 @@
 
 exception Parse_error of { line : int; message : string }
 
+val sim_header : Geacc_core.Similarity.t -> string
+(** The [sim ...] header line (no newline) of the instance format, also
+    carried verbatim by the serve-mode trace and snapshot formats.
+    @raise Invalid_argument on a custom (non-serialisable) similarity. *)
+
+val parse_sim :
+  line:int -> string list -> Geacc_core.Similarity.t
+(** Parses the argument tokens of a [sim ...] header ([["euclidean"; d; r]],
+    [["gaussian"; s]] or [["cosine"]]), the inverse of {!sim_header}.
+    @raise Parse_error (with the given line) on anything else. *)
+
 val save_instance : Geacc_core.Instance.t -> string
 val write_instance : path:string -> Geacc_core.Instance.t -> unit
 

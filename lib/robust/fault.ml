@@ -14,6 +14,26 @@ type entry = { point : string; trigger : trigger; mutable hits : int }
 
 type plan = entry list
 
+(* -- known instrumented points ---------------------------------------- *)
+
+(* The registry is documentation plus introspection (DESIGN.md's fault
+   table is generated from the same names), not an admission filter: tests
+   install throwaway points through [with_plan], so [parse] accepts any
+   well-formed token and only the error messages lean on the registry. *)
+let known =
+  [
+    ("io.truncate", "drop the second half of a file's bytes after reading");
+    ("io.corrupt", "flip the first digit of a file's bytes after reading");
+    ("io.short_write", "journal append writes a torn record, then crashes");
+    ("journal.corrupt", "flip one payload byte of a journal record on read");
+    ("serve.crash", "kill the serving loop at the N-th durability checkpoint");
+    ("sim.nan", "poison a similarity read with NaN");
+    ("sim.huge", "poison a similarity read with 1e300");
+    ("mcf.alloc", "fail the flow-network build (canonical transient fault)");
+    ( "timeout.<stage>",
+      "not fired; @N arms the stage's budget to expire on poll N" );
+  ]
+
 (* -- parsing ---------------------------------------------------------- *)
 
 let valid_point s =
@@ -24,8 +44,11 @@ let valid_point s =
 
 let parse_entry s =
   let mk point trigger =
+    (* Name the offending token, not the whole entry: in a plan like
+       "serve.crash@3,IO.corrupt" the complaint must single out
+       "IO.corrupt" even though the trigger suffix already parsed. *)
     if valid_point point then Ok { point; trigger; hits = 0 }
-    else Error (Printf.sprintf "bad fault point %S" s)
+    else Error (Printf.sprintf "bad fault point %S" point)
   in
   match String.index_opt s '@' with
   | None -> mk s (From 1)
@@ -40,7 +63,10 @@ let parse_entry s =
       match int_of_string_opt n_str with
       | Some n when n >= 1 -> mk point (if from then From n else At n)
       | Some _ | None ->
-          Error (Printf.sprintf "bad fault count in %S (want point@N or point@N+, N >= 1)" s))
+          Error
+            (Printf.sprintf
+               "bad fault count %S in %S (want point@N or point@N+, N >= 1)"
+               arg s))
 
 let parse spec =
   let entries =

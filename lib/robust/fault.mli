@@ -25,10 +25,14 @@
     {2 Conventions}
 
     Points are lowercase dotted names owned by the instrumented module:
-    [io.truncate], [io.corrupt] (instance loading), [sim.nan], [sim.huge]
-    (similarity evaluation), [mcf.alloc] (flow-network build), and the
-    [timeout.<stage>] family, which is not {!fire}d but read through
-    {!param} by the harness to arm budgets with [expire_after_polls].
+    [io.truncate], [io.corrupt] (instance loading), [io.short_write],
+    [journal.corrupt], [serve.crash] (write-ahead journal and serving
+    loop), [sim.nan], [sim.huge] (similarity evaluation), [mcf.alloc]
+    (flow-network build), and the [timeout.<stage>] family, which is not
+    {!fire}d but read through {!param} by the harness to arm budgets with
+    [expire_after_polls]. {!known} lists them with one-line descriptions
+    (DESIGN.md's fault table mirrors it); [parse] stays permissive — tests
+    install throwaway points — but its errors name the offending token.
 
     The plan is parsed from the environment once, lazily. A malformed plan
     never aborts the process: it is recorded (see {!plan_error}) and treated
@@ -41,6 +45,11 @@ exception Injected of { point : string }
     [Printexc] for readable reports. *)
 
 type plan
+
+val known : (string * string) list
+(** The instrumented fault points with one-line descriptions, in
+    documentation order. [timeout.<stage>] stands for the whole parameter
+    family. *)
 
 val parse : string -> (plan, string) result
 (** Parses the grammar above. [Error] names the offending entry. The empty

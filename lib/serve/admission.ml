@@ -1,0 +1,33 @@
+type decision = Admit | Shed
+
+let decision_name = function Admit -> "admit" | Shed -> "shed"
+
+let plan ~queue_cap ~degraded batches =
+  if batches = [] then invalid_arg "Admission.plan: empty group";
+  let musts =
+    List.length
+      (List.filter (fun (b : Trace.batch) -> b.Trace.tier = Trace.Must) batches)
+  in
+  let slots = ref (max 0 (queue_cap - musts)) in
+  let take () =
+    if !slots > 0 then begin
+      decr slots;
+      Admit
+    end
+    else Shed
+  in
+  (* Two passes so a Should late in the group outranks an Optional early in
+     it: tier order decides first, arrival order only breaks ties. *)
+  let should_taken =
+    List.map
+      (fun (b : Trace.batch) ->
+        match b.Trace.tier with Trace.Should -> take () | _ -> Admit)
+      batches
+  in
+  List.map2
+    (fun (b : Trace.batch) should_decision ->
+      match b.Trace.tier with
+      | Trace.Must -> (b, Admit)
+      | Trace.Should -> (b, should_decision)
+      | Trace.Optional -> (b, if degraded then Shed else take ()))
+    batches should_taken

@@ -1,0 +1,28 @@
+(** Admission control over a timestamp group of batches.
+
+    Batches sharing a timestamp arrive together and contend for the bounded
+    work queue; the planner decides, purely and deterministically, which to
+    run and which to shed:
+
+    - [Must] batches are always admitted — correctness traffic (departures,
+      closures) must not be dropped by load shedding;
+    - in [Degraded] health every [Optional] batch is shed outright, before
+      capacity is even considered;
+    - the remaining queue capacity (after the musts) is filled by [Should]
+      batches in arrival order, then by surviving [Optional] ones.
+
+    A shed batch is never journaled: the journal records what was applied,
+    so replay and live runs shed identically by construction. *)
+
+type decision = Admit | Shed
+
+val decision_name : decision -> string
+(** ["admit"] / ["shed"]. *)
+
+val plan :
+  queue_cap:int -> degraded:bool -> Trace.batch list ->
+  (Trace.batch * decision) list
+(** Decisions for one timestamp group, in the group's original order.
+    [queue_cap] is the queue bound ([Must] batches are admitted even past
+    it); non-positive caps admit only the musts.
+    @raise Invalid_argument on an empty group. *)

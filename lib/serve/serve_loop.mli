@@ -1,0 +1,89 @@
+(** The [geacc serve] engine: a crash-safe loop over timestamped batches.
+
+    For every admitted batch the loop (1) appends the batch to the
+    write-ahead journal and fsyncs — the durability point — then (2)
+    applies it to the state, (3) repairs the arrangement under the batch
+    deadline through a [Geacc_robust.Chain] (incremental suffix replay
+    first, full replay as fallback; transient faults retried with
+    backoff), (4) commits and acknowledges, and (5) every
+    [snapshot_every]-th applied batch snapshots the state and truncates
+    the journal. Startup recovery loads the snapshot (if any), replays the
+    journal suffix — skipping records at or below the snapshot's sequence
+    number and re-rejecting invalid batches exactly as the live run did —
+    and repairs with an unlimited budget, so a crashed-and-recovered run
+    reaches the same digest as an uninterrupted one.
+
+    Crash checkpoints ([serve.crash@N] kills the N-th): after the journal
+    append, after the in-memory commit (pre-ack), around the snapshot
+    rename (two, inside [Snapshot.save]) and after the journal truncate.
+    [io.short_write] additionally crashes mid-append with a torn record.
+    These exceptions propagate out of {!run} — the process {e is} the
+    crash site; the recovery fuzz re-runs {!run} against the surviving
+    state directory.
+
+    Health: [Healthy] until a batch cannot be completed in time, [Degraded]
+    until a batch again completes fully (while degraded, admission sheds
+    every [Optional] batch), [Draining] once the input is exhausted. *)
+
+type mode = Incremental | Full | Offline
+
+val mode_name : mode -> string
+(** ["incremental"] / ["full"] / ["offline"]. *)
+
+val mode_of_string : string -> mode option
+
+type health = Healthy | Degraded | Draining
+
+val health_name : health -> string
+(** ["ok"] / ["degraded"] / ["draining"]. *)
+
+type config = {
+  state_dir : string;  (** Holds [journal.wal] and [snapshot.geacc]. *)
+  mode : mode;
+  dirty_threshold : float;
+      (** Fraction of users: when the dirty suffix reaches it, skip the
+          incremental stage and replay from 0 directly (default 0.5). *)
+  batch_timeout_s : float;  (** Per-batch deadline; [<= 0] = unlimited. *)
+  queue_cap : int;  (** Admission bound per timestamp group. *)
+  snapshot_every : int;  (** Snapshot cadence in applied batches; [<= 0] = never. *)
+  max_retries : int;  (** Chain retries for transient faults. *)
+  backoff_s : float;
+  fsync : bool;  (** [false] trades durability for journal speed (bench). *)
+}
+
+val default : state_dir:string -> config
+(** Incremental mode, threshold 0.5, no deadline, queue cap 64, snapshot
+    every 32 applied batches, 2 retries, no backoff, fsync on. *)
+
+type report = {
+  batches : int;  (** Batches in the input trace. *)
+  admitted : int;
+  shed : int;
+  skipped : int;  (** Already applied before this run (recovery overlap). *)
+  applied : int;
+  errors : int;  (** Batches rejected by validation. *)
+  degraded_batches : int;
+  full_replays : int;  (** Committed repairs that replayed from 0. *)
+  snapshots : int;
+  retries : int;
+  replayed : int;  (** Journal records replayed during startup recovery. *)
+  latencies_s : float list;
+      (** Per-admitted-batch wall seconds, in batch order. *)
+  journal_s : float;  (** Total wall time inside journal appends. *)
+  health : health;
+  digest : string;
+  maxsum : float;
+  seq : int;
+}
+
+val exit_status : report -> int
+(** 0 clean; 3 when anything was degraded or shed (the structured-error
+    contract's degraded code); 1 when any batch errored. *)
+
+val run :
+  config -> out:out_channel -> Trace.t -> (report, Geacc_robust.Error.t) result
+(** Recovers, serves the trace, drains. Emits one line per event on [out]:
+    [start], [ok], [degraded], [shed], [error], [stats], [snapshot] and a
+    final [done] line (all deterministic — no wall-clock values). [Error]
+    is reserved for unrecoverable startup failures: unreadable or corrupt
+    snapshot/journal. Crash-injection exceptions propagate. *)

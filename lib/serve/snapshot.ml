@@ -1,0 +1,77 @@
+module Fault = Geacc_robust.Fault
+module Error = Geacc_robust.Error
+
+let header = "geacc-snapshot 1\n"
+
+let save ~path state =
+  let payload = Serve_state.save state in
+  let text =
+    Printf.sprintf "%scrc %08x\n%s" header (Journal.crc32 payload) payload
+  in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc text;
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc));
+  Fault.inject "serve.crash";
+  Sys.rename tmp path;
+  Fault.inject "serve.crash"
+
+let exists ~path = Sys.file_exists path
+
+let load ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error message -> Error (Error.Io_error { path; message })
+  | text -> (
+      let hlen = String.length header in
+      if
+        String.length text < hlen
+        || String.sub text 0 hlen <> header
+      then
+        Error
+          (Error.Parse_error
+             { line = 1; message = "expected `geacc-snapshot 1` header" })
+      else
+        match String.index_from_opt text hlen '\n' with
+        | None ->
+            Error
+              (Error.Parse_error
+                 { line = 2; message = "expected `crc <hex>` line" })
+        | Some nl -> (
+            let crc_line = String.sub text hlen (nl - hlen) in
+            let payload =
+              String.sub text (nl + 1) (String.length text - nl - 1)
+            in
+            match String.split_on_char ' ' crc_line with
+            | [ "crc"; hex ] -> (
+                match int_of_string_opt ("0x" ^ hex) with
+                | None ->
+                    Error
+                      (Error.Parse_error
+                         { line = 2; message = "bad crc value " ^ hex })
+                | Some stored ->
+                    let computed = Journal.crc32 payload in
+                    if computed <> stored then
+                      Error
+                        (Error.Parse_error
+                           {
+                             line = 2;
+                             message =
+                               Printf.sprintf
+                                 "snapshot crc mismatch (stored %08x, \
+                                  computed %08x)"
+                                 stored computed;
+                           })
+                    else Serve_state.load payload)
+            | _ ->
+                Error
+                  (Error.Parse_error
+                     { line = 2; message = "expected `crc <hex>` line" })))

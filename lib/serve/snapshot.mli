@@ -1,0 +1,30 @@
+(** Atomic, checksummed state snapshots.
+
+    A snapshot file wraps a {!Serve_state.save} payload in an integrity
+    header:
+
+    {v
+    geacc-snapshot 1
+    crc <crc32 of everything after this line>
+    <payload>
+    v}
+
+    {!save} is crash-atomic: the bytes go to [<path>.tmp], are fsynced,
+    and only then renamed over [path] — a crash leaves either the old
+    snapshot or the new one, never a torn mix, and the checksum catches the
+    remaining bit-rot case at load time.
+
+    Crash checkpoints for the recovery fuzz ([serve.crash], counted across
+    the serving loop): one after the tmp file is durable but before the
+    rename, one after the rename — recovery from the first sees the old
+    snapshot plus the full journal, from the second the new snapshot plus a
+    not-yet-truncated journal whose records it skips as already applied. *)
+
+val save : path:string -> Serve_state.t -> unit
+(** Writes atomically as described. The [.tmp] sibling is transient. *)
+
+val load : path:string -> (Serve_state.t, Geacc_robust.Error.t) result
+(** Verifies the checksum, then delegates to {!Serve_state.load}. A missing
+    file is an error ([Io_error]); callers treat it as "start empty". *)
+
+val exists : path:string -> bool

@@ -1,0 +1,69 @@
+(** Timestamped event batches: the input language of the serving loop.
+
+    A trace is a similarity header plus an ordered stream of batches. Each
+    batch carries a strictly increasing sequence number (the journal's
+    idempotency key), a non-decreasing timestamp (batches sharing one
+    timestamp arrive together and contend for admission as a group), a
+    priority tier for the load-shed policy, and a list of operations.
+
+    Text format (['#'] comments and blank lines ignored):
+    {v
+    geacc-trace 1
+    sim euclidean <dim> <range>        # as in the instance format
+    batch <seq> <ts> <must|should|optional>
+    user-arrive <capacity> <attr...>
+    user-depart <user-id>
+    event-open <capacity> <attr...>
+    event-close <event-id>
+    event-capacity <event-id> <capacity>
+    conflict-add <event-id> <event-id>
+    stats
+    end
+    v}
+
+    Entity ids are assigned by arrival order: the i-th [user-arrive] of the
+    whole stream creates user [i-1], and likewise for events. Departing or
+    closing never reuses ids. Parsing is strict in the [Instance_io] way —
+    non-finite attributes, negative capacities and malformed shapes are
+    rejected with the precise line — while id range checks belong to
+    application time (the state knows the live id space, the parser does
+    not). *)
+
+type tier = Must | Should | Optional
+
+val tier_name : tier -> string
+(** ["must"] / ["should"] / ["optional"]. *)
+
+type op =
+  | User_arrive of { capacity : int; attrs : float array }
+  | User_depart of int
+  | Event_open of { capacity : int; attrs : float array }
+  | Event_close of int
+  | Event_capacity of { v : int; capacity : int }
+  | Conflict_add of int * int
+  | Stats  (** Query: report service statistics; changes no state. *)
+
+type batch = { seq : int; ts : float; tier : tier; ops : op list }
+
+type t = { sim : Geacc_core.Similarity.t; batches : batch list }
+
+val batch_to_string : batch -> string
+(** The [batch ... end] block, exactly as parsed — the journal's record
+    payload. Round-trips through {!parse_batch}. *)
+
+val parse_batch : string -> (batch, Geacc_robust.Error.t) result
+(** Parses one [batch ... end] block (as produced by {!batch_to_string}). *)
+
+val save : t -> string
+
+val write : path:string -> t -> unit
+
+val parse : string -> (t, Geacc_robust.Error.t) result
+(** Whole-trace parse; additionally enforces strictly increasing [seq] and
+    non-decreasing [ts] across batches. *)
+
+val read : path:string -> (t, Geacc_robust.Error.t) result
+
+val groups : batch list -> batch list list
+(** Consecutive batches sharing one timestamp, in order — the admission
+    unit. Concatenating the groups restores the input list. *)

@@ -527,8 +527,8 @@ let serve_cmd =
       value & opt int 32
       & info [ "snapshot-every" ] ~docv:"N"
           ~doc:
-            "Snapshot the state and truncate the journal every N applied \
-             batches. 0 = never.")
+            "Snapshot the state and truncate the journal once N records \
+             have accumulated in the journal. 0 = never.")
   in
   let max_retries =
     Arg.(

@@ -161,6 +161,16 @@ let attempt_repair c state ~timeout_s =
 
 (* -- Startup recovery ------------------------------------------------- *)
 
+(* What recovery hands the loop, beyond the state itself: [replayed]
+   journal records were applied (or re-rejected) beyond the snapshot;
+   [journaled_seq] is the highest sequence number present in the journal —
+   a rejected batch is journaled without advancing the applied seq, so the
+   freshness floor must be the max of the two or a restart would append
+   the same seq twice and poison the journal's monotonicity check;
+   [backlog] is the total record count still in the journal, seeding the
+   append-based snapshot cadence so a crash-restart cycle cannot let the
+   journal grow without bound. *)
+
 let recover c ~sim =
   ensure_dir c.state_dir;
   let state =
@@ -174,8 +184,14 @@ let recover c ~sim =
       match Journal.recover ~path:(journal_path c) () with
       | Error _ as e -> e
       | Ok { Journal.records; torn_bytes = _ } ->
+          let journaled_seq =
+            List.fold_left
+              (fun acc (r : Journal.record) -> max acc r.Journal.seq)
+              0 records
+          in
+          let backlog = List.length records in
           let rec replay n = function
-            | [] -> Ok (state, n)
+            | [] -> Ok (state, n, journaled_seq, backlog)
             | (r : Journal.record) :: rest ->
                 if r.Journal.seq <= Serve_state.seq state then replay n rest
                 else (
@@ -207,7 +223,7 @@ let recover c ~sim =
 let run c ~out trace =
   match recover c ~sim:trace.Trace.sim with
   | Error _ as e -> e
-  | Ok (state, replayed) ->
+  | Ok (state, replayed, journaled_seq, backlog) ->
       let p fmt = Printf.ksprintf (fun s -> output_string out (s ^ "\n")) fmt in
       p "start seq %d journal %d digest %s" (Serve_state.seq state) replayed
         (Serve_state.digest state);
@@ -218,6 +234,15 @@ let run c ~out trace =
         if c.batch_timeout_s > 0. then Some c.batch_timeout_s else None
       in
       let health = ref Healthy in
+      (* Freshness floor: a batch is new only if its seq is above every seq
+         already in the journal, not just the applied seq — rejected batches
+         journal without applying, and re-journaling one would break the
+         journal's strict monotonicity on the next recovery. *)
+      let journaled = ref (max journaled_seq (Serve_state.seq state)) in
+      (* Snapshot cadence counts journal appends (seeded with the recovered
+         backlog), so rejected and repair-failing batches still drive the
+         journal toward its next truncation. *)
+      let since_snapshot = ref backlog in
       let admitted = ref 0
       and shed = ref 0
       and skipped = ref 0
@@ -229,9 +254,10 @@ let run c ~out trace =
       and retries = ref 0 in
       let latencies = ref [] and journal_s = ref 0. in
       let maybe_snapshot seq =
-        if c.snapshot_every > 0 && !applied mod c.snapshot_every = 0 then begin
+        if c.snapshot_every > 0 && !since_snapshot >= c.snapshot_every then begin
           Snapshot.save ~path:(snapshot_path c) state;
           Journal.truncate journal;
+          since_snapshot := 0;
           Fault.inject "serve.crash";
           incr snapshots;
           p "snapshot %d" seq
@@ -255,6 +281,8 @@ let run c ~out trace =
         let j0 = t0 in
         Journal.append journal ~seq:batch.Trace.seq
           ~payload:(Trace.batch_to_string batch);
+        journaled := batch.Trace.seq;
+        incr since_snapshot;
         journal_s := !journal_s +. (Budget.now_s () -. j0);
         Fault.inject "serve.crash";
         (match Serve_state.apply_batch state batch with
@@ -303,15 +331,18 @@ let run c ~out trace =
               List.exists
                 (fun op -> op = Trace.Stats)
                 batch.Trace.ops
-            then stats_line batch.Trace.seq;
-            maybe_snapshot batch.Trace.seq));
+            then stats_line batch.Trace.seq));
+        (* On every path — rejected batches were journaled too, and the
+           cadence must truncate that growth as well. A rejected batch
+           leaves the state untouched, so the snapshot is consistent. *)
+        maybe_snapshot batch.Trace.seq;
         latencies := (Budget.now_s () -. t0) :: !latencies
       in
       List.iter
         (fun group ->
           let fresh, old =
             List.partition
-              (fun (b : Trace.batch) -> b.Trace.seq > Serve_state.seq state)
+              (fun (b : Trace.batch) -> b.Trace.seq > !journaled)
               group
           in
           skipped := !skipped + List.length old;

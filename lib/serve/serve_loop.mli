@@ -5,13 +5,20 @@
     applies it to the state, (3) repairs the arrangement under the batch
     deadline through a [Geacc_robust.Chain] (incremental suffix replay
     first, full replay as fallback; transient faults retried with
-    backoff), (4) commits and acknowledges, and (5) every
-    [snapshot_every]-th applied batch snapshots the state and truncates
-    the journal. Startup recovery loads the snapshot (if any), replays the
-    journal suffix — skipping records at or below the snapshot's sequence
-    number and re-rejecting invalid batches exactly as the live run did —
-    and repairs with an unlimited budget, so a crashed-and-recovered run
-    reaches the same digest as an uninterrupted one.
+    backoff), (4) commits and acknowledges, and (5) once [snapshot_every]
+    journal appends have accumulated since the last truncation (recovered
+    backlog included) snapshots the state and truncates the journal — the
+    cadence counts appends, not applied batches, so rejected and
+    repair-failing batches cannot grow the journal without bound. Startup
+    recovery loads the snapshot (if any), replays the journal suffix —
+    skipping records at or below the snapshot's sequence number and
+    re-rejecting invalid batches exactly as the live run did — and repairs
+    with an unlimited budget, so a crashed-and-recovered run reaches the
+    same digest as an uninterrupted one. Input batches are admitted only
+    above the highest {e journaled} sequence number (not merely the
+    highest applied one): a rejected batch is journaled without advancing
+    the applied seq, and journaling it again on restart would violate the
+    journal's strict seq monotonicity.
 
     Crash checkpoints ([serve.crash@N] kills the N-th): after the journal
     append, after the in-memory commit (pre-ack), around the snapshot
@@ -45,7 +52,9 @@ type config = {
           incremental stage and replay from 0 directly (default 0.5). *)
   batch_timeout_s : float;  (** Per-batch deadline; [<= 0] = unlimited. *)
   queue_cap : int;  (** Admission bound per timestamp group. *)
-  snapshot_every : int;  (** Snapshot cadence in applied batches; [<= 0] = never. *)
+  snapshot_every : int;
+      (** Snapshot cadence in journal appends since the last truncation;
+          [<= 0] = never. *)
   max_retries : int;  (** Chain retries for transient faults. *)
   backoff_s : float;
   fsync : bool;  (** [false] trades durability for journal speed (bench). *)
@@ -53,13 +62,13 @@ type config = {
 
 val default : state_dir:string -> config
 (** Incremental mode, threshold 0.5, no deadline, queue cap 64, snapshot
-    every 32 applied batches, 2 retries, no backoff, fsync on. *)
+    every 32 journal appends, 2 retries, no backoff, fsync on. *)
 
 type report = {
   batches : int;  (** Batches in the input trace. *)
   admitted : int;
   shed : int;
-  skipped : int;  (** Already applied before this run (recovery overlap). *)
+  skipped : int;  (** Already journaled before this run (recovery overlap). *)
   applied : int;
   errors : int;  (** Batches rejected by validation. *)
   degraded_batches : int;

@@ -412,9 +412,15 @@ let flagged_ids flags =
 
 let save t =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "geacc-serve-state 1\n";
+  Buffer.add_string buf "geacc-serve-state 2\n";
   Printf.bprintf buf "seq %d\n" t.seq;
   Printf.bprintf buf "cursor %d\n" t.cursor;
+  (* The dirty bound survives the round-trip: a snapshot can be taken while
+     a repair is still pending (rejected or degraded batch in between), and
+     dropping the bound would let recovery replay from the stale cursor —
+     above the first user whose walk changed. [n_users] stands in for the
+     max_int clean marker; [dirty_from] caps there anyway. *)
+  Printf.bprintf buf "dirty %d\n" (min t.dirty t.users.len);
   Printf.bprintf buf "%s\n" (Instance_io.sim_header t.sim);
   let inst_text =
     match instance t with None -> "" | Some i -> Instance_io.save_instance i
@@ -491,8 +497,8 @@ let load text =
   match
     (let l = read_line () in
      match tokens l with
-     | [ "geacc-serve-state"; "1" ] -> ()
-     | _ -> fail "expected `geacc-serve-state 1` header, got %S" l);
+     | [ "geacc-serve-state"; "2" ] -> ()
+     | _ -> fail "expected `geacc-serve-state 2` header, got %S" l);
     let seq =
       match tokens (read_line ()) with
       | [ "seq"; n ] ->
@@ -508,6 +514,14 @@ let load text =
           if n < 0 then fail "negative cursor %d" n;
           n
       | _ -> fail "expected `cursor <n>`"
+    in
+    let dirty =
+      match tokens (read_line ()) with
+      | [ "dirty"; n ] ->
+          let n = parse_int n in
+          if n < 0 then fail "negative dirty bound %d" n;
+          n
+      | _ -> fail "expected `dirty <n>`"
     in
     let sim =
       match tokens (read_line ()) with
@@ -562,6 +576,9 @@ let load text =
     if cursor > t.users.len then
       fail "cursor %d beyond the %d users" cursor t.users.len;
     t.cursor <- cursor;
+    if dirty > t.users.len then
+      fail "dirty bound %d beyond the %d users" dirty t.users.len;
+    t.dirty <- (if dirty >= t.users.len then max_int else dirty);
     List.iter (fun u -> vec_set t.departed u true) (id_section "departed" ~bound:t.users.len);
     List.iter (fun v -> vec_set t.closed v true) (id_section "closed" ~bound:t.events.len);
     if !pos <> len then begin

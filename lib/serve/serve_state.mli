@@ -117,11 +117,14 @@ val digest : t -> string
     histories; crash-recovery fuzz compares these. *)
 
 val save : t -> string
-(** Snapshot payload: a [geacc-serve-state 1] header, [seq]/[cursor]/[sim]
-    lines, then length-prefixed embedded [Instance_io] instance and
-    matching texts plus the tombstone id lists. *)
+(** Snapshot payload: a [geacc-serve-state 2] header,
+    [seq]/[cursor]/[dirty]/[sim] lines, then length-prefixed embedded
+    [Instance_io] instance and matching texts plus the tombstone id lists.
+    The dirty bound is part of the payload because a snapshot may be taken
+    while a repair is pending (a rejected or degraded batch since the last
+    commit); [n_users] encodes the clean state. *)
 
 val load : string -> (t, Geacc_robust.Error.t) result
-(** Inverse of {!save}, strict in the [Instance_io] way. The loaded state
-    is clean (nothing dirty) — snapshots are only taken at commit
-    points. *)
+(** Inverse of {!save}, strict in the [Instance_io] way. {!dirty_from} of
+    the loaded state equals that of the saved one, so recovery repairs
+    from the same position the live process would have. *)

@@ -3,6 +3,20 @@ module Error = Geacc_robust.Error
 
 let header = "geacc-snapshot 1\n"
 
+(* Renaming over [path] is only durable once the parent directory's entry
+   is — and the caller truncates the journal right after [save] returns, so
+   losing the rename to a power cut while the truncate survives would drop
+   every batch since the previous snapshot. Directories cannot be opened
+   for writing; a read-only fd is what fsync(2) wants here. Platforms that
+   refuse to open or fsync a directory keep the process-crash guarantee. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
 let save ~path state =
   let payload = Serve_state.save state in
   let text =
@@ -18,6 +32,7 @@ let save ~path state =
       Unix.fsync (Unix.descr_of_out_channel oc));
   Fault.inject "serve.crash";
   Sys.rename tmp path;
+  fsync_dir (Filename.dirname path);
   Fault.inject "serve.crash"
 
 let exists ~path = Sys.file_exists path

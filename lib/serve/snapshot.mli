@@ -10,9 +10,12 @@
     v}
 
     {!save} is crash-atomic: the bytes go to [<path>.tmp], are fsynced,
-    and only then renamed over [path] — a crash leaves either the old
-    snapshot or the new one, never a torn mix, and the checksum catches the
-    remaining bit-rot case at load time.
+    renamed over [path], and the parent directory is fsynced — a crash
+    leaves either the old snapshot or the new one, never a torn mix, and
+    the checksum catches the remaining bit-rot case at load time. The
+    directory fsync orders the rename before the journal truncation that
+    follows it, so a power cut cannot surface an old snapshot next to an
+    already-emptied journal.
 
     Crash checkpoints for the recovery fuzz ([serve.crash], counted across
     the serving loop): one after the tmp file is durable but before the

@@ -74,18 +74,21 @@ journal append but before the acknowledgement.
   [1]
 
 Restarting replays the snapshot + journal and finishes the trace; the final
-digest is bit-identical to the uninterrupted run's.
+digest is bit-identical to the uninterrupted run's. The two records already
+in the journal count toward the snapshot cadence, so the first batch served
+after recovery crosses it and truncates the backlog straight away.
 
   $ geacc serve --trace tiny.trace --state crashed --snapshot-every 2 --digest recovered.digest
   start seq 2 journal 2 digest 2d6f68fa2e7033bf
   ok 3 from 0 pairs 4 maxsum 2.4
+  snapshot 3
   ok 4 from 4 pairs 4 maxsum 2.4
   stats 4 health ok users 4/4 events 2/2 conflicts 1 pairs 4 maxsum 2.4
-  snapshot 4
   ok 5 from 0 pairs 2 maxsum 1.3
   stats 5 health ok users 3/4 events 1/2 conflicts 1 pairs 2 maxsum 1.3
+  snapshot 5
   done seq 5 applied 3 degraded 0 shed 0 errors 0 digest 92ddd963c40aa879
-  serve: batches=5 admitted=3 shed=0 skipped=2 applied=3 errors=0 degraded=0 full-replays=2 snapshots=1 retries=0 replayed=2 injected-faults=0
+  serve: batches=5 admitted=3 shed=0 skipped=2 applied=3 errors=0 degraded=0 full-replays=2 snapshots=2 retries=0 replayed=2 injected-faults=0
   $ cmp ref.digest recovered.digest && echo same
   same
 
@@ -98,6 +101,37 @@ a torn tail: recovery refuses to guess and the server will not start.
   $ GEACC_FAULTS='journal.corrupt@1' geacc serve --trace tiny.trace --state corrupt
   geacc: parse error at line 2: journal record 1: crc mismatch (stored eb28b7a8, computed 4bc101eb)
   [1]
+
+A batch the state rejects is journaled before validation runs, so a
+restart must not journal it again: admission skips everything at or below
+the highest journaled seq, not merely the highest applied one. (Filtering
+on the applied seq would append a duplicate seq on the second run and the
+strict-monotonicity check would refuse the whole journal on the third —
+a permanently bricked state directory.)
+
+  $ cat > reject.trace <<'EOF'
+  > geacc-trace 1
+  > sim euclidean 2 1
+  > batch 1 0 must
+  > event-open 1 1 0
+  > user-arrive 1 0.9 0.1
+  > end
+  > batch 2 1 must
+  > user-depart 7
+  > end
+  > EOF
+  $ geacc serve --trace reject.trace --state rej 2>/dev/null
+  start seq 0 journal 0 digest a641af1052e0113c
+  ok 1 from 0 pairs 1 maxsum 0.9
+  error 2 invalid batch 2: user id 7 out of range [0, 1)
+  done seq 1 applied 1 degraded 0 shed 0 errors 1 digest c0d37afc545ac249
+  [1]
+  $ geacc serve --trace reject.trace --state rej 2>/dev/null
+  start seq 1 journal 2 digest c0d37afc545ac249
+  done seq 1 applied 0 degraded 0 shed 0 errors 0 digest c0d37afc545ac249
+  $ geacc serve --trace reject.trace --state rej 2>/dev/null
+  start seq 1 journal 2 digest c0d37afc545ac249
+  done seq 1 applied 0 degraded 0 shed 0 errors 0 digest c0d37afc545ac249
 
 Admission control: with one queue slot, the should-tier batch in the shared
 group wins it and the optional stats probe is shed. Shedding is a visible

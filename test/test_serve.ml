@@ -454,6 +454,116 @@ let test_crash_sweep () =
           reference report.Serve_loop.digest)
   done
 
+let parsed_trace lines =
+  match Trace.parse (String.concat "\n" (lines @ [ "" ])) with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "trace parse: %s" (Error.to_string e)
+
+(* A rejected batch is journaled (journal-before-apply) without advancing
+   the applied seq. Admission must therefore filter on the highest
+   journaled seq: filtering on the applied seq would re-journal the
+   rejected tail batch with a duplicate seq on the first restart, and the
+   journal's strict-monotonicity check would permanently refuse the state
+   directory on the second. *)
+let test_rejected_tail_survives_restarts () =
+  let trace =
+    parsed_trace
+      [
+        "geacc-trace 1";
+        "sim euclidean 2 1";
+        "batch 1 0 must";
+        "event-open 1 1 0";
+        "user-arrive 1 0.9 0.1";
+        "end";
+        "batch 2 1 must";
+        "user-depart 7";
+        "end";
+      ]
+  in
+  with_tmpdir (fun dir ->
+      let config = Serve_loop.default ~state_dir:dir in
+      let first = run_ok config trace in
+      Alcotest.(check int) "tail batch rejected" 1 first.Serve_loop.errors;
+      let second = run_ok config trace in
+      Alcotest.(check int)
+        "restart skips the journaled reject" 0 second.Serve_loop.errors;
+      Alcotest.(check int) "both batches skipped" 2 second.Serve_loop.skipped;
+      (* The critical step: a third run's journal recovery must still
+         succeed — a duplicate seq would brick it here. *)
+      let third = run_ok config trace in
+      Alcotest.(check string)
+        "digest stable across restarts" second.Serve_loop.digest
+        third.Serve_loop.digest)
+
+(* The snapshot cadence counts journal appends, so a stream of rejected
+   batches (which never advance [applied]) still truncates the journal. *)
+let test_rejected_batches_bound_the_journal () =
+  let bad seq =
+    [ Printf.sprintf "batch %d %d must" seq (seq - 1); "user-depart 7"; "end" ]
+  in
+  let trace =
+    parsed_trace
+      ([
+         "geacc-trace 1";
+         "sim euclidean 2 1";
+         "batch 1 0 must";
+         "event-open 1 1 0";
+         "user-arrive 1 0.9 0.1";
+         "end";
+       ]
+      @ List.concat_map bad [ 2; 3; 4; 5; 6; 7 ])
+  in
+  with_tmpdir (fun dir ->
+      let config =
+        {
+          (Serve_loop.default ~state_dir:dir) with
+          Serve_loop.snapshot_every = 2;
+        }
+      in
+      let first = run_ok config trace in
+      Alcotest.(check int) "rejects counted" 6 first.Serve_loop.errors;
+      Alcotest.(check int)
+        "snapshots kept firing" 3 first.Serve_loop.snapshots;
+      let second = run_ok config trace in
+      Alcotest.(check int)
+        "bounded backlog on restart" 1 second.Serve_loop.replayed;
+      Alcotest.(check int)
+        "nothing re-admitted" 7 second.Serve_loop.skipped;
+      Alcotest.(check string)
+        "digest stable" first.Serve_loop.digest second.Serve_loop.digest)
+
+(* Snapshots can now be taken while a repair is pending, so the dirty
+   bound must survive the save/load round-trip — otherwise recovery would
+   replay from the stale cursor, above the first changed walk. *)
+let test_state_dirty_survives_save_load () =
+  let state = built_state () in
+  let attrs =
+    match Serve_state.instance state with
+    | Some inst -> (Geacc_core.Instance.users inst).(0).Geacc_core.Entity.attrs
+    | None -> Alcotest.fail "built state has no instance"
+  in
+  let apply seq ops =
+    match
+      Serve_state.apply_batch state { Trace.seq; ts = 0.; tier = Trace.Must; ops }
+    with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "apply: %s" (Error.to_string e)
+  in
+  let u = Serve_state.n_users state in
+  apply (Serve_state.seq state + 1) [ Trace.User_arrive { capacity = 1; attrs } ];
+  Serve_state.commit state
+    (Serve_state.repair state ~deadline:Geacc_robust.Budget.unlimited);
+  (* Depart the newest user without repairing: dirty sits below cursor. *)
+  apply (Serve_state.seq state + 1) [ Trace.User_depart u ];
+  Alcotest.(check int) "dirty below cursor" u (Serve_state.dirty_from state);
+  match Serve_state.load (Serve_state.save state) with
+  | Error e -> Alcotest.failf "load: %s" (Error.to_string e)
+  | Ok back ->
+      Alcotest.(check int)
+        "dirty bound survives the round-trip"
+        (Serve_state.dirty_from state)
+        (Serve_state.dirty_from back)
+
 let test_recovery_is_idempotent () =
   (* Re-running the full trace against an already-complete state skips every
      batch and changes nothing. *)
@@ -504,6 +614,12 @@ let suite =
     Alcotest.test_case "loop: offline mode" `Quick test_offline_mode_runs_clean;
     Alcotest.test_case "loop: re-run is idempotent" `Quick
       test_recovery_is_idempotent;
+    Alcotest.test_case "loop: rejected tail survives restarts" `Quick
+      test_rejected_tail_survives_restarts;
+    Alcotest.test_case "loop: rejects still truncate the journal" `Quick
+      test_rejected_batches_bound_the_journal;
+    Alcotest.test_case "state: dirty bound survives save/load" `Quick
+      test_state_dirty_survives_save_load;
     Alcotest.test_case "crash sweep: every checkpoint recovers" `Slow
       test_crash_sweep;
   ]

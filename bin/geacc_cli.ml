@@ -367,13 +367,34 @@ let solve_cmd =
              >= TAU get an arc (TAU > 0 trades matching quality for \
              speed). Requires 0 <= TAU <= 1.")
   in
+  let cost_kernel =
+    let kernel_conv =
+      let parse s =
+        Mincostflow.kernel_of_string s |> Result.map_error (fun e -> `Msg e)
+      in
+      let print ppf k =
+        Format.pp_print_string ppf (Mincostflow.kernel_name k)
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt kernel_conv (Mincostflow.default_cost_kernel ())
+      & info [ "cost-kernel" ] ~docv:"KIND"
+          ~doc:
+            "SSP arithmetic for $(b,-a mincostflow): $(b,int) (quantised \
+             integer Dijkstra over a bucket queue, the default) or \
+             $(b,float) (the reference float-keyed heap). Both produce \
+             the same matching; only speed differs.")
+  in
   let run () instance_path algorithm out seed backend timeout stage_timeout
-      fallback max_retries order jobs network min_sim =
+      fallback max_retries order jobs network min_sim cost_kernel =
     (match jobs with
     | None -> ()
     | Some j when j >= 1 -> Geacc_par.Pool.set_default_jobs j
     | Some j -> die "--jobs expects a positive integer, got %d" j);
     Mincostflow.set_default_network network;
+    Mincostflow.set_default_cost_kernel cost_kernel;
     if not (min_sim >= 0. && min_sim <= 1.) then
       die "--min-sim expects a value in [0, 1], got %g" min_sim;
     Mincostflow.set_default_min_sim min_sim;
@@ -408,7 +429,7 @@ let solve_cmd =
     Term.(
       const run $ logs_term $ instance_arg $ algorithm $ out $ seed_arg
       $ index_arg $ timeout $ stage_timeout $ fallback $ max_retries $ order
-      $ jobs $ network $ min_sim)
+      $ jobs $ network $ min_sim $ cost_kernel)
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve an instance and report MaxSum/time/memory.")

@@ -118,6 +118,9 @@ module Flow = struct
         then
           failf ~site "CSR position %d: cost %h <> arc %d's cost %h" p
             (G.pos_cost g p) a (G.cost g a);
+        if G.pos_icost g p <> G.icost g a then
+          failf ~site "CSR position %d: icost %d <> arc %d's icost %d" p
+            (G.pos_icost g p) a (G.icost g a);
         if G.pos_residual_capacity g p <> G.residual_capacity g a then
           failf ~site
             "CSR position %d: residual capacity %d out of sync with arc %d \
@@ -143,6 +146,21 @@ module Flow = struct
             (G.src g a) (G.dst g a) rc
       end
     done
+
+  (* Integer twin: the quantised potentials telescope exactly, so there is
+     no slack — any negative integer reduced cost is a bug. *)
+  let check_reduced_costs_int ~site g ~potential =
+    let m = G.arc_count g in
+    for a = 0 to m - 1 do
+      if G.residual_capacity g a > 0 then begin
+        let rc =
+          G.icost g a + potential.(G.src g a) - potential.(G.dst g a)
+        in
+        if rc < 0 then
+          failf ~site "arc %d (%d -> %d) has negative integer reduced cost %d"
+            a (G.src g a) (G.dst g a) rc
+      end
+    done
 end
 
 module Heap = struct
@@ -157,4 +175,8 @@ module Heap = struct
   let check_float_int ~site h =
     if not (Geacc_pqueue.Float_int_heap.check_invariant h) then
       fail ~site "float-int heap order violated"
+
+  let check_bucket ~site q =
+    if not (Geacc_pqueue.Int_bucket_queue.check_invariant q) then
+      fail ~site "bucket queue placement or size violated"
 end

@@ -3,12 +3,21 @@ module Int_set = Set.Make (Int)
 type t = {
   n_events : int;
   adjacency : Int_set.t array;
+  (* Bitset twin of [adjacency], one row per event: the feasibility hot
+     paths test a whole row against a user's assigned-event bitset with
+     one word-AND scan instead of per-pair membership probes. *)
+  rows : Bitset.t array;
   mutable cardinal : int;
 }
 
 let create ~n_events =
   if n_events < 0 then invalid_arg "Conflict.create: negative n_events";
-  { n_events; adjacency = Array.make n_events Int_set.empty; cardinal = 0 }
+  {
+    n_events;
+    adjacency = Array.make n_events Int_set.empty;
+    rows = Array.init n_events (fun _ -> Bitset.create ~bits:n_events);
+    cardinal = 0;
+  }
 
 let n_events t = t.n_events
 
@@ -23,13 +32,19 @@ let add t v w =
   if not (Int_set.mem w t.adjacency.(v)) then begin
     t.adjacency.(v) <- Int_set.add w t.adjacency.(v);
     t.adjacency.(w) <- Int_set.add v t.adjacency.(w);
+    Bitset.set t.rows.(v) w;
+    Bitset.set t.rows.(w) v;
     t.cardinal <- t.cardinal + 1
   end
 
 let mem t v w =
   check_id t v;
   check_id t w;
-  v <> w && Int_set.mem w t.adjacency.(v)
+  v <> w && Bitset.mem t.rows.(v) w
+
+let row t v =
+  check_id t v;
+  t.rows.(v)
 
 let cardinal t = t.cardinal
 
@@ -58,7 +73,12 @@ let ratio t =
     /. (float_of_int t.n_events *. float_of_int (t.n_events - 1) /. 2.)
 
 let copy t =
-  { n_events = t.n_events; adjacency = Array.copy t.adjacency; cardinal = t.cardinal }
+  {
+    n_events = t.n_events;
+    adjacency = Array.copy t.adjacency;
+    rows = Array.map Bitset.copy t.rows;
+    cardinal = t.cardinal;
+  }
 
 let pp ppf t =
   Format.fprintf ppf "CF(%d pairs, ratio %.3f)" t.cardinal (ratio t)

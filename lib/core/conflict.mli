@@ -2,8 +2,10 @@
 
     Two conflicting events cannot both be assigned to the same user (paper
     Definition 3). Self-conflicts are rejected; adding a pair twice is a
-    no-op. Membership is O(log deg); enumeration of a node's conflicting
-    events is O(deg). *)
+    no-op. Membership is one bit probe; enumeration of a node's
+    conflicting events is O(deg). Each event also carries its conflict
+    row as a {!Bitset.t} ({!row}), so whole-row feasibility probes are
+    word-AND scans. *)
 
 type t
 
@@ -17,7 +19,13 @@ val add : t -> int -> int -> unit
     range. *)
 
 val mem : t -> int -> int -> bool
-(** Symmetric membership; [mem t v v] is [false]. *)
+(** Symmetric membership; [mem t v v] is [false]. O(1): one word probe of
+    the event's conflict row. *)
+
+val row : t -> int -> Bitset.t
+(** The bitset of events conflicting with the given one — intersect it
+    with an assigned-event bitset for a whole-row feasibility probe. The
+    returned set is live (updated by {!add}) and must not be mutated. *)
 
 val cardinal : t -> int
 (** Number of (unordered) conflicting pairs. *)

@@ -258,6 +258,10 @@ let neighbor_work t = (side_work t.event_queries, side_work t.user_queries)
 let with_backend t backend =
   { t with backend; event_queries = None; user_queries = None }
 
+(* The prepared query sources depend only on the entities, which are
+   unchanged — swapping the conflicts keeps the (expensive) NN state. *)
+let with_conflicts t conflicts = { t with conflicts }
+
 let pp_summary ppf t =
   Format.fprintf ppf
     "|V|=%d |U|=%d d=%d sum(c_v)=%d sum(c_u)=%d max(c_u)=%d %a sim=%a"

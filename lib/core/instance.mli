@@ -77,6 +77,12 @@ val with_backend : t -> Geacc_index.Nn_backend.t -> t
 (** Same instance data served by a different NN backend, with fresh (cold)
     neighbour caches. The original is untouched. *)
 
+val with_conflicts : t -> Conflict.t -> t
+(** The same instance (entities, similarity, prepared neighbour-query
+    state all shared) under a different conflict graph. Used by the
+    serving layer to refresh its cached instance on conflict-only
+    batches without rebuilding the NN index. *)
+
 val neighbor_work : t -> int * int
 (** Diagnostic: how many (event-side, user-side) neighbour streams have
     been opened so far by index-backed solvers on this instance (for

@@ -11,17 +11,25 @@ type t = {
   event_load : int array;
   user_load : int array;
   user_events : int list array;
+  (* Bitset twin of [user_events]: the conflict feasibility probe
+     intersects a user's assigned-event set against an event's conflict
+     row (one word-AND scan) instead of walking the list per pair. *)
+  user_bits : Bitset.t array;
   mutable size : int;
   mutable maxsum : float;
 }
 
 let create instance =
+  let n_events = Instance.n_events instance in
   {
     instance;
     present = Hashtbl.create 64;
-    event_load = Array.make (Instance.n_events instance) 0;
+    event_load = Array.make n_events 0;
     user_load = Array.make (Instance.n_users instance) 0;
     user_events = Array.make (Instance.n_users instance) [];
+    user_bits =
+      Array.init (Instance.n_users instance) (fun _ ->
+          Bitset.create ~bits:n_events);
     size = 0;
     maxsum = 0.;
   }
@@ -34,7 +42,7 @@ let mem t ~v ~u = Hashtbl.mem t.present (key t ~v ~u)
 
 let user_conflicts_with t ~u ~v =
   let cf = Instance.conflicts t.instance in
-  List.exists (fun v' -> Conflict.mem cf v v') t.user_events.(u)
+  Bitset.intersects (Conflict.row cf v) t.user_bits.(u)
 
 let check_add t ~v ~u =
   if mem t ~v ~u then Some Duplicate
@@ -45,9 +53,12 @@ let check_add t ~v ~u =
   else if Instance.sim t.instance ~v ~u <= 0. then Some Zero_similarity
   else
     let cf = Instance.conflicts t.instance in
-    match List.find_opt (fun v' -> Conflict.mem cf v v') t.user_events.(u) with
-    | Some v' -> Some (Conflicting_event v')
-    | None -> None
+    let row = Conflict.row cf v in
+    if Bitset.intersects row t.user_bits.(u) then
+      (* The witness (smallest conflicting assigned event) is only
+         computed on the reject path. *)
+      Some (Conflicting_event (Bitset.first_common row t.user_bits.(u)))
+    else None
 
 let add t ~v ~u =
   match check_add t ~v ~u with
@@ -58,6 +69,7 @@ let add t ~v ~u =
       t.event_load.(v) <- t.event_load.(v) + 1;
       t.user_load.(u) <- t.user_load.(u) + 1;
       t.user_events.(u) <- v :: t.user_events.(u);
+      Bitset.set t.user_bits.(u) v;
       t.size <- t.size + 1;
       t.maxsum <- t.maxsum +. s;
       Ok s
@@ -71,6 +83,7 @@ let unsafe_add t ~v ~u =
   t.event_load.(v) <- t.event_load.(v) + 1;
   t.user_load.(u) <- t.user_load.(u) + 1;
   t.user_events.(u) <- v :: t.user_events.(u);
+  Bitset.set t.user_bits.(u) v;
   t.size <- t.size + 1;
   t.maxsum <- t.maxsum +. Instance.sim t.instance ~v ~u
 
@@ -108,6 +121,8 @@ let remove_exn t ~v ~u =
   t.event_load.(v) <- t.event_load.(v) - 1;
   t.user_load.(u) <- t.user_load.(u) - 1;
   t.user_events.(u) <- remove_first v t.user_events.(u);
+  (* (v,u) pairs are unique, so the user holds no other copy of v. *)
+  Bitset.reset t.user_bits.(u) v;
   t.size <- t.size - 1;
   t.maxsum <- t.maxsum -. Instance.sim t.instance ~v ~u
 
@@ -141,6 +156,7 @@ let copy t =
     event_load = Array.copy t.event_load;
     user_load = Array.copy t.user_load;
     user_events = Array.copy t.user_events;
+    user_bits = Array.map Bitset.copy t.user_bits;
     size = t.size;
     maxsum = t.maxsum;
   }

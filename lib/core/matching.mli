@@ -13,7 +13,8 @@ type reject =
   | User_full
   | Zero_similarity
   | Conflicting_event of int
-      (** The user already holds this conflicting event. *)
+      (** The user already holds this conflicting event (the smallest id
+          among the conflicting ones they hold). *)
   | Duplicate
 
 val create : Instance.t -> t
@@ -54,7 +55,8 @@ val remaining_user_capacity : t -> int -> int
 
 val user_conflicts_with : t -> u:int -> v:int -> bool
 (** Would assigning event [v] to user [u] clash with an event [u] already
-    holds? *)
+    holds? One word-AND scan of [v]'s conflict row against [u]'s
+    assigned-event bitset. *)
 
 val pairs : t -> (int * int) list
 (** All matched pairs sorted lexicographically. *)

@@ -14,10 +14,48 @@ let network_of_string s =
   | "sparse" -> Ok Sparse
   | s -> Error (Printf.sprintf "unknown network %S (expected dense or sparse)" s)
 
+type cost_kernel = Float_kernel | Int_kernel
+
+let kernel_name = function Float_kernel -> "float" | Int_kernel -> "int"
+
+let kernel_of_string s =
+  match String.lowercase_ascii s with
+  | "float" -> Ok Float_kernel
+  | "int" -> Ok Int_kernel
+  | s ->
+      Error (Printf.sprintf "unknown cost kernel %S (expected float or int)" s)
+
+(* Quantisation grid: costs 1 - sim ∈ [0, 1] round to [0, 2^30] and the
+   float column stores the de-quantised grid point q/2^30 — not the raw
+   float — so the two columns are the same number in two encodings. Grid
+   points are dyadic rationals exactly representable as doubles, and
+   while magnitudes stay inside [Mcf.exactness_guard] every sum either
+   kernel forms is exact, so the kernels order every comparison
+   identically (DESIGN.md §15). Rounding moves each cost by at most
+   2^-31 ≈ 5e-10 — the same lossless-in-practice band as the τ = 0
+   similarity gate. *)
+let cost_scale = 1 lsl 30
+let cost_scale_f = float_of_int cost_scale
+let quantise c = int_of_float (Float.round (c *. cost_scale_f))
+let dequantise q = float_of_int q /. cost_scale_f
+
 (* Process-wide defaults, settable by front ends (mirrors
-   [Pool.set_default_jobs]): explicit arguments always win. *)
-let network_default = ref Sparse
+   [Pool.set_default_jobs]): explicit arguments always win. The initial
+   values honour GEACC_NETWORK / GEACC_COST_KERNEL (read once at module
+   init) so CI can sweep a whole test binary across networks and kernels
+   without per-binary CLI plumbing; malformed values read as the built-in
+   default, like GEACC_JOBS (the CLI front ends validate loudly, the
+   library stays total). *)
+let env_default var of_string fallback =
+  match Sys.getenv_opt var with
+  | None -> fallback
+  | Some s -> ( match of_string (String.trim s) with Ok v -> v | Error _ -> fallback)
+
+let network_default = ref (env_default "GEACC_NETWORK" network_of_string Sparse)
 let min_sim_default = ref 0.
+
+let kernel_default =
+  ref (env_default "GEACC_COST_KERNEL" kernel_of_string Int_kernel)
 let default_network () = !network_default
 let set_default_network n = network_default := n
 let default_min_sim () = !min_sim_default
@@ -26,6 +64,9 @@ let set_default_min_sim s =
   if not (s >= 0. && s <= 1.) then
     invalid_arg "Mincostflow.set_default_min_sim: threshold outside [0, 1]";
   min_sim_default := s
+
+let default_cost_kernel () = !kernel_default
+let set_default_cost_kernel k = kernel_default := k
 
 type net = {
   graph : Graph.t;
@@ -44,6 +85,8 @@ type stats = {
   pair_arcs : int;
   dense_pairs : int;
   timed_out : bool;
+  kernel_used : cost_kernel;
+  int_fallback : bool;
 }
 
 (* Node layout: 0 = source; 1..|V| = events; |V|+1..|V|+|U| = users; last =
@@ -130,10 +173,11 @@ let build_network ?jobs ?network ?min_sim instance =
           for c = 0 to Array.length cost_chunks - 1 do
             let lo, width, buf = cost_chunks.(c) in
             for du = 0 to width - 1 do
+              let q = quantise buf.((v * width) + du) in
               ignore
-                (Graph.add_arc g ~src:(event_node v)
+                (Graph.add_arc ~icost:q g ~src:(event_node v)
                    ~dst:(user_node (lo + du)) ~capacity:1
-                   ~cost:buf.((v * width) + du))
+                   ~cost:(dequantise q))
             done
           done
         done;
@@ -183,9 +227,11 @@ let build_network ?jobs ?network ?min_sim instance =
                 let v = lo + i in
                 Array.iter
                   (fun (u, s) ->
+                    let q = quantise (1. -. s) in
                     ignore
-                      (Graph.add_arc g ~src:(event_node v) ~dst:(user_node u)
-                         ~capacity:1 ~cost:(1. -. s)))
+                      (Graph.add_arc ~icost:q g ~src:(event_node v)
+                         ~dst:(user_node u) ~capacity:1
+                         ~cost:(dequantise q)))
                   candidates)
               chunk)
           cand_chunks;
@@ -208,9 +254,13 @@ let build_network ?jobs ?network ?min_sim instance =
     network_used = network;
   }
 
-let solve_with_stats ?deadline ?jobs ?network ?min_sim instance =
+let solve_with_stats ?deadline ?jobs ?network ?min_sim ?cost_kernel instance
+    =
   let n_v = Instance.n_events instance in
   let n_u = Instance.n_users instance in
+  let kernel =
+    match cost_kernel with Some k -> k | None -> !kernel_default
+  in
   let net = build_network ?jobs ?network ?min_sim instance in
   let g = net.graph and source = net.source and sink = net.sink in
   (* A unit of flow adds 1 - path_cost to MaxSum; path costs only grow, so
@@ -236,10 +286,48 @@ let solve_with_stats ?deadline ?jobs ?network ?min_sim instance =
       Audit.Flow.check_csr ~site g
     end
   in
-  let outcome =
+  let audit_after_dijkstra_int ~potential =
+    if Audit.enabled () then
+      Audit.Flow.check_reduced_costs_int ~site:"Mincostflow.solve/dijkstra-int"
+        g ~potential
+  in
+  let solve_float () =
     Mcf.solve g ~source ~sink ?deadline
       ~should_augment:(fun ~path_cost -> path_cost < 1.)
       ~audit_after_dijkstra ~audit_after_augment ()
+  in
+  (* Both columns of every arc hold the same dyadic grid value, so within
+     the magnitude guard the integer run provably mirrors the float
+     kernel's comparisons (DESIGN.md §15); [None] means the instance left
+     that regime — discard the partial flow and recompute in float. The
+     guard override exists for tests to force this path. *)
+  let guard =
+    match Sys.getenv_opt "GEACC_INT_KERNEL_GUARD" with
+    | Some s -> ( match int_of_string_opt s with Some g -> g | None -> Mcf.exactness_guard)
+    | None -> Mcf.exactness_guard
+  in
+  let outcome, kernel_used, int_fallback =
+    match kernel with
+    | Float_kernel -> (solve_float (), Float_kernel, false)
+    | Int_kernel -> (
+        match
+          Mcf.solve_int g ~source ~sink ?deadline ~guard
+            ~stop_below:cost_scale
+            ~audit_after_dijkstra:audit_after_dijkstra_int
+            ~audit_after_augment ()
+        with
+        | Some io ->
+            ( {
+                Mcf.flow = io.Mcf.iflow;
+                cost = float_of_int io.Mcf.icost /. cost_scale_f;
+                augmentations = io.Mcf.iaugmentations;
+                timed_out = io.Mcf.itimed_out;
+              },
+              Int_kernel,
+              false )
+        | None ->
+            Graph.reset_flow g;
+            (solve_float (), Float_kernel, true))
   in
   (* M_∅: pairs carrying flow with positive similarity. The similarity is
      recovered from the stored arc cost (s = 1 - cost) instead of being
@@ -263,6 +351,9 @@ let solve_with_stats ?deadline ?jobs ?network ?min_sim instance =
   let matching = Matching.create instance in
   let dropped = ref 0 in
   let cf = Instance.conflicts instance in
+  (* Kept-set as a bitset, reused across users: the conflict probe per
+     candidate is one word-AND scan of the event's conflict row. *)
+  let kept = Bitset.create ~bits:n_v in
   Array.iteri
     (fun u events ->
       let sorted =
@@ -272,12 +363,12 @@ let solve_with_stats ?deadline ?jobs ?network ?min_sim instance =
             if c <> 0 then c else Int.compare v1 v2)
           events
       in
-      let kept = ref [] in
+      Bitset.clear kept;
       List.iter
         (fun (v, _) ->
-          if List.exists (fun v' -> Conflict.mem cf v v') !kept then incr dropped
+          if Bitset.intersects (Conflict.row cf v) kept then incr dropped
           else begin
-            kept := v :: !kept;
+            Bitset.set kept v;
             let (_ : float) = Matching.add_exn matching ~v ~u in
             ()
           end)
@@ -294,7 +385,9 @@ let solve_with_stats ?deadline ?jobs ?network ?min_sim instance =
       pair_arcs = net.pair_arcs;
       dense_pairs = net.dense_pairs;
       timed_out = outcome.Mcf.timed_out;
+      kernel_used;
+      int_fallback;
     } )
 
-let solve ?deadline ?jobs ?network ?min_sim instance =
-  fst (solve_with_stats ?deadline ?jobs ?network ?min_sim instance)
+let solve ?deadline ?jobs ?network ?min_sim ?cost_kernel instance =
+  fst (solve_with_stats ?deadline ?jobs ?network ?min_sim ?cost_kernel instance)

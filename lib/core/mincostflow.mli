@@ -40,7 +40,10 @@ val network_of_string : string -> (network, string) result
 
 val default_network : unit -> network
 (** The network used when the [?network] argument is omitted. Initially
-    {!Sparse}. *)
+    the [GEACC_NETWORK] environment variable if set to a valid
+    {!network_name}, else {!Sparse}; malformed values read as {!Sparse}
+    (the env hook exists so CI can sweep whole test binaries — the CLI
+    flag validates loudly). *)
 
 val set_default_network : network -> unit
 (** Sets the process-wide default (the CLI's [--network] flag). *)
@@ -50,6 +53,49 @@ val default_min_sim : unit -> float
 val set_default_min_sim : float -> unit
 (** Sets the process-wide default similarity gate τ for sparse builds.
     @raise Invalid_argument outside [\[0, 1\]]. *)
+
+(** {2 Cost kernels}
+
+    Arc costs [1 - sim] are rounded to the 2^30 dyadic grid at build time
+    and stored twice — the grid point [q / 2^30] in the float column, the
+    integer [q] alongside — so the SSP loop can run on either encoding of
+    the {e same} numbers: {!Float_kernel} (the reference, float-keyed
+    heap) or {!Int_kernel} (integer Dijkstra over a monotone bucket
+    queue, exact integer potentials, no float compares). Grid points are
+    exactly representable as doubles and, while magnitudes stay inside
+    {!Geacc_flow.Mcf.exactness_guard}, every sum either kernel forms is
+    exact — the kernels order every cost comparison identically and
+    produce min-cost flows of bit-identical value and cost; among exactly
+    tied trees they may route equal-cost paths differently. An integer
+    run that leaves the guarded regime silently recomputes with the float
+    kernel. See DESIGN.md §15. *)
+
+type cost_kernel =
+  | Float_kernel  (** Float-keyed Dijkstra, the reference. *)
+  | Int_kernel
+      (** Quantised integer Dijkstra with verified float fallback
+          (default). *)
+
+val kernel_name : cost_kernel -> string
+(** ["float"] / ["int"]. *)
+
+val kernel_of_string : string -> (cost_kernel, string) result
+(** Parses a {!kernel_name} (case-insensitive). *)
+
+val cost_scale : int
+(** The quantisation grid ([2^30]): arc cost [c] rounds to
+    [q = round (c * cost_scale)], and {e both} columns store it — the
+    integer [q] and the float [q / cost_scale]. *)
+
+val default_cost_kernel : unit -> cost_kernel
+(** The kernel used when the [?cost_kernel] argument is omitted.
+    Initially the [GEACC_COST_KERNEL] environment variable if set to a
+    valid {!kernel_name}, else {!Int_kernel}; malformed values read as
+    {!Int_kernel} (the env hook exists so CI can sweep whole test
+    binaries — the CLI flag validates loudly). *)
+
+val set_default_cost_kernel : cost_kernel -> unit
+(** Sets the process-wide default (the CLI's [--cost-kernel] flag). *)
 
 type net = {
   graph : Geacc_flow.Graph.t;
@@ -75,6 +121,12 @@ type stats = {
                                 early: conflict resolution then ran on a
                                 min-cost flow of a smaller Δ, so the result
                                 is feasible but may miss the argmax Δ. *)
+  kernel_used : cost_kernel;
+      (** The kernel that produced the accepted flow — {!Float_kernel}
+          when the integer run fell back. *)
+  int_fallback : bool;
+      (** [true] when an {!Int_kernel} run left the exactness-guarded
+          regime and the flow was recomputed in float. *)
 }
 
 val build_network :
@@ -98,19 +150,22 @@ val solve :
   ?jobs:int ->
   ?network:network ->
   ?min_sim:float ->
+  ?cost_kernel:cost_kernel ->
   Instance.t ->
   Matching.t
 (** [deadline] (default: unlimited) is polled between augmentations of the
     underlying SSP loop; on expiry the partial flow — a valid min-cost flow
     of its own amount — is resolved into a feasible matching as usual.
-    [jobs], [network] and [min_sim] are passed to {!build_network}; the
-    solve itself is sequential and its output independent of the job
-    count. *)
+    [jobs], [network] and [min_sim] are passed to {!build_network};
+    [cost_kernel] selects the SSP arithmetic (same matching either way —
+    see {!cost_kernel}). The solve itself is sequential and its output
+    independent of the job count. *)
 
 val solve_with_stats :
   ?deadline:Geacc_robust.Budget.t ->
   ?jobs:int ->
   ?network:network ->
   ?min_sim:float ->
+  ?cost_kernel:cost_kernel ->
   Instance.t ->
   Matching.t * stats

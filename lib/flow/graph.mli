@@ -25,13 +25,22 @@ val reserve : t -> arcs:int -> unit
     allocation instead of a doubling cascade. Purely an optimisation — arc
     ids and contents are unaffected. *)
 
-val add_arc : t -> src:int -> dst:int -> capacity:int -> cost:float -> arc
+val add_arc :
+  ?icost:int -> t -> src:int -> dst:int -> capacity:int -> cost:float -> arc
 (** Adds a forward arc and its residual partner; returns the forward arc id.
-    Requires [capacity >= 0] and valid node ids. *)
+    Requires [capacity >= 0] and valid node ids. [icost] (default 0) is the
+    quantised integer twin of [cost], stored in a parallel column for the
+    integer SSP kernel; the residual partner carries its negation, exactly
+    mirroring the float cost pairing. The graph never relates the two
+    columns — the builder owns the quantisation contract. *)
 
 val src : t -> arc -> int
 val dst : t -> arc -> int
 val cost : t -> arc -> float
+
+val icost : t -> arc -> int
+(** Quantised integer cost of an arc (the [icost] given to {!add_arc},
+    negated on residual partners). *)
 
 val residual_capacity : t -> arc -> int
 (** Remaining capacity of [a] in the residual network. *)
@@ -103,6 +112,9 @@ val pos_dst : t -> int -> int
 val pos_cost : t -> int -> float
 (** Cost of the arc at a CSR position. *)
 
+val pos_icost : t -> int -> int
+(** Quantised integer cost of the arc at a CSR position. *)
+
 val pos_residual_capacity : t -> int -> int
 (** Residual capacity of the arc at a CSR position — kept current by
     {!push}/{!reset_flow} while the form is valid. *)
@@ -132,6 +144,9 @@ val unsafe_csr_dst : t -> int array
 
 val unsafe_csr_cost : t -> float array
 (** Positional cost slice. Requires {!csr_valid}. *)
+
+val unsafe_csr_icost : t -> int array
+(** Positional quantised-integer-cost slice. Requires {!csr_valid}. *)
 
 val unsafe_csr_cap : t -> int array
 (** Positional residual-capacity slice. Requires {!csr_valid}. *)

@@ -119,3 +119,143 @@ let solve g ~source ~sink ?(deadline = Budget.unlimited) ?target_flow
     augmentations = !augmentations;
     timed_out = !timed_out;
   }
+
+(* ---------- integer kernel ---------- *)
+
+type int_outcome = {
+  iflow : int;
+  icost : int;          (* total cost in quantisation-grid units *)
+  iaugmentations : int;
+  itimed_out : bool;
+}
+
+let has_negative_int_arc g =
+  Graph.fold_forward_arcs g ~init:false ~f:(fun acc a ->
+      acc || (Graph.residual_capacity g a > 0 && Graph.icost g a < 0))
+
+(* Magnitude ceiling for the exactness argument: while every potential
+   stays below it (and the node count below 2^21), all keys the two
+   kernels ever compare stay below 2^53, where double arithmetic on the
+   2^30 dyadic grid is exact — the float kernel computes bit-identical
+   values, so the kernels order every comparison identically. Grossly
+   conservative: potentials grow by at most one path cost (a few grid
+   units, ~2^32) per augmentation, so reaching 2^48 would take millions
+   of augmentations. *)
+let exactness_guard = 1 lsl 48
+
+let solve_int g ~source ~sink ?(deadline = Budget.unlimited)
+    ?(guard = exactness_guard) ?stop_below
+    ?(audit_after_dijkstra = fun ~potential:_ -> ())
+    ?(audit_after_augment = fun () -> ()) () =
+  assert (source <> sink);
+  let n = Graph.node_count g in
+  assert (0 <= source && source < n && 0 <= sink && sink < n);
+  (* The integer kernel has no Bellman–Ford twin: it requires the initial
+     all-zero potential to already reduce non-negatively, i.e. no
+     capacitated forward arc with negative quantised cost. The assignment
+     networks satisfy this by construction (costs 1 - sim >= 0); anything
+     else is the caller's cue to run the float kernel. The node-count
+     bound keeps worst-case keys (n path arcs of at most one grid unit,
+     plus two potentials under the guard) inside the exact range. *)
+  if has_negative_int_arc g || n >= 1 lsl 21 then None
+  else begin
+    let pi = Array.make n 0 in
+    (* Scratch for every Dijkstra pass, allocated once per solve — unlike
+       the float kernel, the passes themselves allocate nothing. *)
+    let dist = Array.make n max_int in
+    let parent_arc = Array.make n (-1) in
+    let queue = Geacc_pqueue.Int_bucket_queue.create () in
+    let total_flow = ref 0 in
+    let total_cost = ref 0 in
+    let augmentations = ref 0 in
+    let continue = ref true in
+    let timed_out = ref false in
+    let uncertain = ref false in
+    let bottleneck = ref max_int in
+    let pi_max = ref 0 in
+    let v = ref sink in
+    while !continue do
+      (* Deadline poll between augmentations, as in the float loop. *)
+      if Budget.check_now deadline then begin
+        timed_out := true;
+        continue := false
+      end
+      else begin
+        Shortest_path.dijkstra_int g ~source ~pi ~dist ~parent_arc ~queue
+          ~stop_at:sink ();
+        if dist.(sink) = max_int then continue := false
+        else begin
+          (* True source->sink path cost, before the potential update —
+             exact integer arithmetic, the potentials telescope. The stop
+             rule is exact too: the float kernel compares the same dyadic
+             value against the same ceiling. *)
+          let path_cost = dist.(sink) + pi.(sink) - pi.(source) in
+          let stop_here =
+            match stop_below with
+            | None -> false
+            | Some ceiling -> path_cost >= ceiling
+          in
+          if stop_here then continue := false
+          else begin
+            let cap = dist.(sink) in
+            pi_max := 0;
+            assert (Array.length dist = Array.length pi);
+            for u = 0 to Array.length dist - 1 do
+              (* bounds: proved — u < |dist| = |pi| (asserted above) *)
+              let d = A.unsafe_get dist u in
+              let np =
+                (* bounds: proved — u < |pi| = |dist| (asserted above) *)
+                A.unsafe_get pi u + (if d < cap then d else cap)
+              in
+              if np > !pi_max then pi_max := np;
+              (* bounds: proved — u < |pi| = |dist| (asserted above) *)
+              A.unsafe_set pi u np
+            done;
+            if !pi_max >= guard then begin
+              (* Potentials left the exact range: the float mirror could
+                 round, so the remaining passes are no longer certified.
+                 Stop before augmenting along this pass's tree. *)
+              uncertain := true;
+              continue := false
+            end
+            else begin
+            audit_after_dijkstra ~potential:pi;
+            bottleneck := max_int;
+            v := sink;
+            assert (Array.length parent_arc = n);
+            while !v <> source do
+              (* bounds: proved — v stays in [0, n) = [0, |parent_arc|): sink is asserted, Graph.src returns node ids *)
+              let a = A.unsafe_get parent_arc !v in
+              assert (a >= 0);
+              let r = Graph.residual_capacity g a in
+              if r < !bottleneck then bottleneck := r;
+              v := Graph.src g a
+            done;
+            let units = !bottleneck in
+            assert (units > 0);
+            v := sink;
+            while !v <> source do
+              (* bounds: proved — v stays in [0, n) = [0, |parent_arc|): sink is asserted, Graph.src returns node ids *)
+              let a = A.unsafe_get parent_arc !v in
+              Graph.push g a units;
+              v := Graph.src g a
+            done;
+            total_flow := !total_flow + units;
+            total_cost := !total_cost + (units * path_cost);
+            incr augmentations;
+            audit_after_augment ()
+            end
+          end
+        end
+      end
+    done;
+    if !uncertain then None
+    else
+      Some
+        {
+          iflow = !total_flow;
+          icost = !total_cost;
+          iaugmentations = !augmentations;
+          itimed_out = !timed_out;
+        }
+  end

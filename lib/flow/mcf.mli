@@ -52,3 +52,49 @@ val solve :
     depending on them: [audit_after_dijkstra] fires once per iteration right
     after the Johnson potentials are updated, [audit_after_augment] after
     each augmentation's flow push. *)
+
+type int_outcome = {
+  iflow : int;           (** Total units routed. *)
+  icost : int;           (** Total cost, in quantisation-grid units. *)
+  iaugmentations : int;  (** Number of augmenting paths used. *)
+  itimed_out : bool;     (** [true] when [deadline] expired (see {!solve}). *)
+}
+
+val exactness_guard : int
+(** Default [guard] for {!solve_int} ([2^48]): while every potential stays
+    below it and the node count below [2^21], every value either kernel
+    computes stays below [2^53], where double arithmetic on the [2^30]
+    dyadic cost grid is exact. *)
+
+val solve_int :
+  Graph.t ->
+  source:int ->
+  sink:int ->
+  ?deadline:Geacc_robust.Budget.t ->
+  ?guard:int ->
+  ?stop_below:int ->
+  ?audit_after_dijkstra:(potential:int array -> unit) ->
+  ?audit_after_augment:(unit -> unit) ->
+  unit ->
+  int_outcome option
+(** Integer twin of {!solve}, running {!Shortest_path.dijkstra_int} on the
+    quantised {!Graph.icost} column with integer potentials (exact — no
+    reduced-cost clamp, no Bellman–Ford seeding: the initial all-zero
+    potential must already reduce non-negatively, which holds for the
+    assignment networks where every forward cost is [1 - sim >= 0]).
+
+    [stop_below] is the integer form of {!solve}'s [should_augment]: keep
+    augmenting while the integer path cost is strictly below it (for the
+    MaxSum stop rule [path_cost < 1.], pass the quantisation scale).
+
+    Returns [None] — with partially pushed flow still in the graph, so
+    callers must {!Graph.reset_flow} before falling back to the float
+    kernel — when the instance leaves the regime where the integer run
+    provably mirrors the float one on the same dyadic cost column: a
+    capacitated negative-[icost] arc at entry, a node count at or above
+    [2^21], or a potential reaching [guard] (default {!exactness_guard};
+    tests shrink it to force the fallback path). Within that regime both
+    kernels order every cost comparison identically, so a [Some] outcome
+    is a min-cost flow of the same value and total cost — to the bit —
+    as the float kernel's; among exactly tied shortest-path trees the two
+    may pick different (equal-cost) augmenting paths. *)

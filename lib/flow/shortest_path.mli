@@ -27,6 +27,43 @@ val dijkstra :
     which is exactly the property the min-cost-flow potential update
     [pi(v) <- pi(v) + min(dist(v), dist(stop_at))] needs. *)
 
+val dijkstra_int :
+  Graph.t ->
+  source:int ->
+  pi:int array ->
+  dist:int array ->
+  parent_arc:int array ->
+  queue:Geacc_pqueue.Int_bucket_queue.t ->
+  ?stop_at:int ->
+  unit ->
+  unit
+(** Integer twin of {!dijkstra}, running on the {!Graph.icost} column with
+    a monotone bucket queue instead of the float heap. Semantics mirror
+    {!dijkstra} ([stop_at], reduced distances, tentative non-settled
+    entries) with [max_int] standing in for [infinity] and -1 for absent
+    parents, plus two exact-arithmetic shortcuts the float kernel cannot
+    take: no [settled] array (reduced costs are exactly non-negative, so
+    a popped entry is live iff its key equals the node's distance and a
+    settled node can never re-improve — asserted, not clamped) and a goal
+    bound (relaxations strictly above [stop_at]'s tentative distance are
+    dropped; they cannot reach a shortest [stop_at] path, and the SSP
+    potential update caps at that distance anyway, so later passes are
+    unaffected).
+
+    Exactness contract: when the float cost column stores the {e same}
+    dyadic values [icost / 2^30] (the {!Mincostflow} builder's invariant)
+    and every key stays below 2^53, the float kernel's arithmetic on
+    those costs is exact, so every comparison here orders identically to
+    its float twin — the two kernels tie exactly on the same pairs and
+    agree strictly everywhere else. {!Mcf.solve_int} enforces the
+    magnitude precondition; see DESIGN.md §15.
+
+    [dist], [parent_arc] and [queue] are caller-owned scratch (arrays of
+    exactly [node_count] entries, asserted at entry — the stage-4 bounds
+    proofs rest on it); the kernel re-initialises them, so one allocation
+    serves every pass of an SSP solve. Results are left in
+    [dist]/[parent_arc]. *)
+
 val bellman_ford : Graph.t -> source:int -> result option
 (** Handles negative costs; [None] if a negative-cost residual cycle is
     reachable from [source]. O(V·E). Used as a test oracle and to initialise

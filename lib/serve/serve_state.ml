@@ -274,7 +274,28 @@ let apply_ops t (batch : Trace.batch) =
           conflicted := key :: !conflicted
       | Trace.Stats -> ())
     batch.Trace.ops;
-  t.cache <- None;
+  (* Conflict-only batches keep the cached instance warm: the entities are
+     untouched, so instead of a full rebuild (entity copies, conflict
+     bitset rows, a cold NN index) the new edges go into a copy of the
+     cached conflict graph and the instance is re-wrapped around it —
+     handed-out instances stay immutable snapshots, and the prepared
+     neighbour-query state carries over. *)
+  let entities_unchanged =
+    List.for_all
+      (fun op ->
+        match op with
+        | Trace.Conflict_add _ | Trace.Stats -> true
+        | _ -> false)
+      batch.Trace.ops
+  in
+  (match (t.cache, entities_unchanged) with
+  | Some inst, true ->
+      if !conflicted <> [] then begin
+        let cf = Conflict.copy (Instance.conflicts inst) in
+        List.iter (fun (v, w) -> Conflict.add cf v w) !conflicted;
+        t.cache <- Some (Instance.with_conflicts inst cf)
+      end
+  | _ -> t.cache <- None);
   let no_skip _ = false in
   List.iter
     (fun v ->

@@ -206,10 +206,117 @@ let test_dense_sparse_identical () =
   if !pruned_pairs_seen = 0 then
     Alcotest.fail "no pair was ever pruned — tight instances too loose"
 
+(* ---------- integer vs float cost kernels ---------- *)
+
+(* The exactness contract of DESIGN.md §15, checked end to end: on the
+   same network the integer and float SSP kernels must produce matchings
+   with bit-identical MaxSum, the certified integer run must never fall
+   back, and a guard shrunk to 0 (via GEACC_INT_KERNEL_GUARD) must force
+   every integer run through the verified float-recompute path while
+   still returning the float kernel's exact result. Re-uses the
+   dense/sparse sweep's instance flavours so both the no-prune (eq1) and
+   heavily-pruned (tight) cost distributions are covered. *)
+let test_int_float_kernels () =
+  let certified = ref 0 in
+  let with_guard v f =
+    (match v with
+    | Some g -> Unix.putenv "GEACC_INT_KERNEL_GUARD" (string_of_int g)
+    | None -> Unix.putenv "GEACC_INT_KERNEL_GUARD" "");
+    Fun.protect ~finally:(fun () -> Unix.putenv "GEACC_INT_KERNEL_GUARD" "") f
+  in
+  for seed = 1 to 6 do
+    let cfg =
+      {
+        Synthetic.default with
+        Synthetic.n_events = 3 + (seed mod 4);
+        n_users = 12 + (4 * seed);
+        dim = 1 + (seed mod 3);
+        attrs = (if seed mod 2 = 0 then Synthetic.Attr_zipf 1.3 else Synthetic.Attr_uniform);
+        event_capacity = Synthetic.Cap_uniform 3;
+        user_capacity = Synthetic.Cap_uniform 2;
+        conflict_ratio = 0.3;
+      }
+    in
+    let base = Synthetic.generate ~seed cfg in
+    List.iter
+      (fun (flavour, instance) ->
+        let label fmt =
+          Printf.ksprintf
+            (fun s -> Printf.sprintf "%s seed=%d %s" flavour seed s)
+            fmt
+        in
+        let reference, ref_stats =
+          Mincostflow.solve_with_stats ~jobs:1
+            ~cost_kernel:Mincostflow.Float_kernel instance
+        in
+        Alcotest.(check bool)
+          (label "float run never falls back")
+          false ref_stats.Mincostflow.int_fallback;
+        let ref_bits = Int64.bits_of_float (Matching.maxsum reference) in
+        (* Certified integer run: same MaxSum to the bit, no fallback. *)
+        let m, stats =
+          Mincostflow.solve_with_stats ~jobs:1
+            ~cost_kernel:Mincostflow.Int_kernel instance
+        in
+        (match Validate.check_matching m with
+        | [] -> ()
+        | violations ->
+            Alcotest.failf "%s: %d violations" (label "int kernel")
+              (List.length violations));
+        (* The exactness contract (Mcf.solve_int): flow value and total
+           cost bit-equal; among exactly tied trees the kernels may route
+           different equal-cost paths, so MaxSum — a sum of true sims
+           over the chosen pairs — is only tie-equivalent, not bitwise. *)
+        Alcotest.(check int)
+          (label "int = float flow value")
+          ref_stats.Mincostflow.flow_value stats.Mincostflow.flow_value;
+        Alcotest.(check int64)
+          (label "int = float flow cost bits")
+          (Int64.bits_of_float ref_stats.Mincostflow.flow_cost)
+          (Int64.bits_of_float stats.Mincostflow.flow_cost);
+        Alcotest.(check (float 1e-6))
+          (label "int = float maxsum (tie-equivalent)")
+          (Matching.maxsum reference) (Matching.maxsum m);
+        if not stats.Mincostflow.int_fallback then incr certified;
+        Alcotest.(check string)
+          (label "kernel actually used")
+          (if stats.Mincostflow.int_fallback then "float" else "int")
+          (Mincostflow.kernel_name stats.Mincostflow.kernel_used);
+        (* Guard forced to 0: the integer run must leave the certified
+           regime on pass one, recompute in float, and still agree. *)
+        with_guard (Some 0) (fun () ->
+            let m', stats' =
+              Mincostflow.solve_with_stats ~jobs:1
+                ~cost_kernel:Mincostflow.Int_kernel instance
+            in
+            Alcotest.(check bool)
+              (label "guard=0 forces the fallback")
+              true stats'.Mincostflow.int_fallback;
+            Alcotest.(check string)
+              (label "guard=0 accepted kernel")
+              "float"
+              (Mincostflow.kernel_name stats'.Mincostflow.kernel_used);
+            (match Validate.check_matching m' with
+            | [] -> ()
+            | violations ->
+                Alcotest.failf "%s: %d violations" (label "fallback")
+                  (List.length violations));
+            Alcotest.(check int64)
+              (label "fallback maxsum bits")
+              ref_bits
+              (Int64.bits_of_float (Matching.maxsum m'))))
+      [ ("eq1", base); ("tight", tighten base) ]
+  done;
+  (* The sweep must exercise the certified path, not just the fallback. *)
+  if !certified = 0 then
+    Alcotest.fail "no integer run stayed in the certified regime"
+
 let suite =
   [
     Alcotest.test_case "200-instance differential sweep" `Slow
       test_differential;
     Alcotest.test_case "dense vs sparse networks identical" `Slow
       test_dense_sparse_identical;
+    Alcotest.test_case "int vs float cost kernels identical" `Slow
+      test_int_float_kernels;
   ]

@@ -111,6 +111,65 @@ let test_float_int_heap () =
   Alcotest.(check (list (float 0.))) "ascending keys" [ 0.5; 1.5; 2.5 ]
     (List.rev !keys)
 
+let test_bucket_basic () =
+  let q = Int_bucket_queue.create () in
+  Alcotest.(check bool) "empty" true (Int_bucket_queue.is_empty q);
+  Alcotest.(check (option (pair int int))) "pop empty" None
+    (Int_bucket_queue.pop q);
+  Int_bucket_queue.push q 25 1;
+  Int_bucket_queue.push q 5 2;
+  Int_bucket_queue.push q 15 3;
+  Alcotest.(check int) "length" 3 (Int_bucket_queue.length q);
+  Alcotest.(check bool) "invariant" true (Int_bucket_queue.check_invariant q);
+  Alcotest.(check (option (pair int int))) "first" (Some (5, 2))
+    (Int_bucket_queue.pop q);
+  (* Monotone contract: pushing below the floor (5) raises. *)
+  Alcotest.check_raises "below floor"
+    (Invalid_argument "Int_bucket_queue.push: key below the monotone floor")
+    (fun () -> Int_bucket_queue.push q 4 9);
+  Int_bucket_queue.push q 5 4;
+  Alcotest.(check int) "min key" 5 (Int_bucket_queue.min_key q);
+  Alcotest.(check int) "min payload" 4 (Int_bucket_queue.min_payload q);
+  Int_bucket_queue.drop_min q;
+  Alcotest.(check (option (pair int int))) "then 15" (Some (15, 3))
+    (Int_bucket_queue.pop q);
+  Alcotest.(check (option (pair int int))) "then 25" (Some (25, 1))
+    (Int_bucket_queue.pop q);
+  Alcotest.(check bool) "drained" true (Int_bucket_queue.is_empty q)
+
+let test_bucket_one_bucket () =
+  (* Empty key range: every entry shares one key, so all of them live in
+     bucket 0 and pops never re-deal. *)
+  let q = Int_bucket_queue.create () in
+  for p = 0 to 99 do
+    Int_bucket_queue.push q 42 p
+  done;
+  Alcotest.(check bool) "invariant" true (Int_bucket_queue.check_invariant q);
+  let seen = ref [] in
+  let rec drain () =
+    match Int_bucket_queue.pop q with
+    | None -> ()
+    | Some (k, p) ->
+        Alcotest.(check int) "constant key" 42 k;
+        seen := p :: !seen;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "every payload once"
+    (List.init 100 Fun.id)
+    (List.sort compare !seen)
+
+let test_bucket_clear_reuse () =
+  let q = Int_bucket_queue.create () in
+  Int_bucket_queue.push q 1000 1;
+  ignore (Int_bucket_queue.pop q);
+  (* The floor is now 1000; clear must reset it so small keys work again. *)
+  Int_bucket_queue.clear q;
+  Alcotest.(check bool) "cleared" true (Int_bucket_queue.is_empty q);
+  Int_bucket_queue.push q 3 7;
+  Alcotest.(check (option (pair int int))) "usable after clear" (Some (3, 7))
+    (Int_bucket_queue.pop q)
+
 (* QCheck properties *)
 
 let prop_binary_sorts =
@@ -142,6 +201,61 @@ let prop_float_int_matches_sort =
       in
       drain [] = List.sort compare (List.map fst kvs))
 
+let prop_bucket_matches_float_heap =
+  (* Random monotone streams: interleave pushes (key = current floor + a
+     small delta, keeping the bucket queue's contract satisfied) with
+     pops, mirrored into a Float_int_heap. Popped key sequences must be
+     identical, and the popped (key, payload) multisets must agree —
+     payload order among equal keys is unspecified in both structures, so
+     ties are normalised by sorting. *)
+  QCheck.Test.make ~name:"bucket queue matches float-int heap" ~count:300
+    QCheck.(list (option (pair (int_bound 1000) small_int)))
+    (fun ops ->
+      let q = Int_bucket_queue.create () in
+      let h = Float_int_heap.create () in
+      let floor = ref 0 and next = ref 0 in
+      let bucket_pops = ref [] and heap_pops = ref [] in
+      let keys_agree = ref true in
+      List.iter
+        (function
+          | Some (delta, _tag) ->
+              let k = !floor + delta in
+              let p = !next in
+              incr next;
+              Int_bucket_queue.push q k p;
+              Float_int_heap.push h (float_of_int k) p
+          | None -> (
+              match (Int_bucket_queue.pop q, Float_int_heap.pop h) with
+              | None, None -> ()
+              | Some (kq, pq), Some (kh, ph) ->
+                  floor := kq;
+                  if float_of_int kq <> kh then keys_agree := false;
+                  bucket_pops := (kq, pq) :: !bucket_pops;
+                  heap_pops := (int_of_float kh, ph) :: !heap_pops
+              | _ -> keys_agree := false))
+        ops;
+      let rec drain_q () =
+        match Int_bucket_queue.pop q with
+        | None -> ()
+        | Some (k, p) ->
+            bucket_pops := (k, p) :: !bucket_pops;
+            drain_q ()
+      in
+      let rec drain_h () =
+        match Float_int_heap.pop h with
+        | None -> ()
+        | Some (k, p) ->
+            heap_pops := (int_of_float k, p) :: !heap_pops;
+            drain_h ()
+      in
+      drain_q ();
+      drain_h ();
+      !keys_agree
+      && Int_bucket_queue.check_invariant q
+      && List.map fst (List.rev !bucket_pops)
+         = List.map fst (List.rev !heap_pops)
+      && List.sort compare !bucket_pops = List.sort compare !heap_pops)
+
 let prop_interleaved_ops =
   (* Random push/pop interleavings preserve the heap invariant. *)
   QCheck.Test.make ~name:"binary heap invariant under interleaving" ~count:100
@@ -167,7 +281,12 @@ let suite =
     Alcotest.test_case "pairing merge" `Quick test_pairing_merge;
     Alcotest.test_case "pairing deep spine" `Quick test_pairing_deep;
     Alcotest.test_case "float-int heap" `Quick test_float_int_heap;
+    Alcotest.test_case "bucket queue basic" `Quick test_bucket_basic;
+    Alcotest.test_case "bucket queue one bucket" `Quick test_bucket_one_bucket;
+    Alcotest.test_case "bucket queue clear reuse" `Quick
+      test_bucket_clear_reuse;
     QCheck_alcotest.to_alcotest prop_binary_sorts;
+    QCheck_alcotest.to_alcotest prop_bucket_matches_float_heap;
     QCheck_alcotest.to_alcotest prop_implementations_agree;
     QCheck_alcotest.to_alcotest prop_float_int_matches_sort;
     QCheck_alcotest.to_alcotest prop_interleaved_ops;

@@ -17,7 +17,10 @@
    Before appending, each new snapshot is compared against the most recent
    prior snapshot of the same experiment: any cell whose wall time or peak
    heap grew by more than the threshold (default 25%) prints a
-   `::warning::` line in GitHub problem-matcher syntax. Peak-heap cells
+   `::warning::` line in GitHub problem-matcher syntax, and so does any
+   previously-tracked cell that the new artifact no longer carries — a
+   renamed or silently-dropped bench cell would otherwise vanish from the
+   history without anyone noticing. Peak-heap cells
    are only compared when BOTH sides were measured in "exact" mode —
    gc-delta numbers are Gc-sampling noise, and comparing them against
    exact ones manufactures spurious regressions, so mixed or gc-delta
@@ -385,6 +388,19 @@ let warn_regressions ~threshold ~experiment ~prev_sha prev_cells new_cells =
                 prev_sha threshold
           | _ -> ()))
     new_cells;
+  (* The reverse pass: cells the previous snapshot tracked but the new
+     artifact no longer carries. Renames and accidental drops both land
+     here; either way the trajectory is about to lose a series. *)
+  List.iter
+    (fun (path, _) ->
+      if not (List.exists (fun c -> c.path = path) new_cells) then begin
+        any := true;
+        Printf.printf
+          "::warning title=bench cell disappeared::%s %s was tracked at %s \
+           but is missing from this run's artifact\n"
+          experiment path prev_sha
+      end)
+    prev_cells;
   !any
 
 (* -- Driver ------------------------------------------------------------- *)

@@ -601,6 +601,7 @@ let materialize_graph env r =
   let env, cap_ = get_path env r "cap_" ~mut:true `Arr in
   let env, icap = get_path env r "initial_cap" ~mut:true `Arr in
   let env, cost_ = get_path env r "cost_" ~mut:true `Arr in
+  let env, icost_ = get_path env r "icost_" ~mut:true `Arr in
   let n = exact_int nv and c = exact_int cv in
   let env = fact_le env (Some (const 0)) n in
   let env = fact_le env (Some (const 0)) c in
@@ -609,6 +610,7 @@ let materialize_graph env r =
   let env = fact_le env c (len_of cap_) in
   let env = fact_le env c (len_of icap) in
   let env = fact_le env c (len_of cost_) in
+  let env = fact_le env c (len_of icost_) in
   let env = fact_le env n (len_of head) in
   let env = fact_le env (len_of head) n in
   (match (n, c) with
@@ -626,6 +628,7 @@ let seed_csr env r =
   let env, off = get_path env r "csr_offset" ~mut:true `Arr in
   let env, cdst = get_path env r "csr_dst" ~mut:true `Arr in
   let env, ccost = get_path env r "csr_cost" ~mut:true `Arr in
+  let env, cicost = get_path env r "csr_icost" ~mut:true `Arr in
   let env, ccap = get_path env r "csr_cap" ~mut:true `Arr in
   let env, carc = get_path env r "csr_arc" ~mut:true `Arr in
   let env, apos = get_path env r "arc_pos" ~mut:true `Arr in
@@ -636,6 +639,7 @@ let seed_csr env r =
   let env = fact_le env (len_of off) np1 in
   let env = fact_le env c (len_of cdst) in
   let env = fact_le env c (len_of ccost) in
+  let env = fact_le env c (len_of cicost) in
   let env = fact_le env c (len_of ccap) in
   let env = fact_le env c (len_of carc) in
   let env = fact_le env c (len_of apos) in
@@ -661,6 +665,29 @@ let materialize_heap env r =
   let env = fact_le env s (len_of kv) in
   let env = fact_le env (len_of kv) (len_of pv) in
   let env = fact_le env (len_of pv) (len_of kv) in
+  env
+
+(* Bucket-queue core: the three per-bucket columns have exactly 64
+   ([Int_bucket_queue.buckets]) slots, fixed at creation. The per-bucket
+   length invariant [0 <= lens.(b) <= |keys.(b)| = |payloads.(b)|] lives
+   in nested arrays this domain cannot index, so the queue re-checks it
+   with runtime asserts at each unsafe site (and in check_invariant);
+   the asserts are what the licences there cite. *)
+let materialize_bucket env r =
+  let env, sv = get_path env r "size" ~mut:true `Int in
+  let env, lv = get_path env r "last" ~mut:true `Int in
+  let env, kv = get_path env r "keys" ~mut:false `Arr in
+  let env, pv = get_path env r "payloads" ~mut:false `Arr in
+  let env, ev = get_path env r "lens" ~mut:false `Arr in
+  let env = fact_le env (Some (const 0)) (exact_int sv) in
+  let env = fact_le env (Some (const 0)) (exact_int lv) in
+  let b64 = Some (const 64) in
+  let env = fact_le env (len_of kv) b64 in
+  let env = fact_le env b64 (len_of kv) in
+  let env = fact_le env (len_of pv) b64 in
+  let env = fact_le env b64 (len_of pv) in
+  let env = fact_le env (len_of ev) b64 in
+  let env = fact_le env b64 (len_of ev) in
   env
 
 (* ---------- typedtree helpers ---------- *)
@@ -755,6 +782,7 @@ let read_label ss env r (lbl : Types.label_description) =
     match label_type_key ~unit_name:ss.ss_unit lbl with
     | Some "Graph.t" -> materialize_graph env r
     | Some "Float_int_heap.t" -> materialize_heap env r
+    | Some "Int_bucket_queue.t" -> materialize_bucket env r
     | _ -> env
   in
   let key = r ^ "#" ^ lbl.Types.lbl_name in
@@ -1470,6 +1498,10 @@ and call_named ss env e (base, name) argl =
       match heap_model ss env e name argl with
       | Some r -> r
       | None -> unknown_call ss env e argl)
+  | "Int_bucket_queue" -> (
+      match bucket_model ss env e name argl with
+      | Some r -> r
+      | None -> unknown_call ss env e argl)
   | "Point" when name = "dim" -> (
       match argl with
       | [ pe ] -> (
@@ -1619,7 +1651,7 @@ and graph_model ss env e name argl =
           let env, n, c = counts env r in
           let env = narrow1 env rest (Some (const 0)) (pred c) in
           Some (env, bounds (Some (const 0)) (pred n)))
-  | "cost" ->
+  | "cost" | "icost" ->
       with_root (fun env r rest ->
           let env, _, c = counts env r in
           let env = narrow1 env rest (Some (const 0)) (pred c) in
@@ -1695,7 +1727,7 @@ and graph_model ss env e name argl =
           let env, n, c = counts env r in
           let env = narrow1 env rest (Some (const 0)) (pred c) in
           Some (env, bounds (Some (const 0)) (pred n)))
-  | "pos_cost" | "pos_residual_capacity" ->
+  | "pos_cost" | "pos_icost" | "pos_residual_capacity" ->
       with_root (fun env r rest ->
           let env = seed_csr env r in
           let env, _, c = counts env r in
@@ -1707,8 +1739,8 @@ and graph_model ss env e name argl =
           let env, _, c = counts env r in
           let env = narrow1 env rest (Some (const 0)) (pred c) in
           Some (env, bounds (Some (const 0)) (pred c)))
-  | "unsafe_csr_dst" | "unsafe_csr_cost" | "unsafe_csr_cap" | "unsafe_csr_arc"
-    ->
+  | "unsafe_csr_dst" | "unsafe_csr_cost" | "unsafe_csr_icost" | "unsafe_csr_cap"
+  | "unsafe_csr_arc" ->
       with_root (fun env r rest ->
           (* The licence must hold *at the call*: the caller owes the
              analyzer an established csr_valid (finalize_csr or a guard)
@@ -1793,6 +1825,47 @@ and heap_model ss env e name argl =
   | "is_empty" | "check_invariant" -> with_root (fun env _r -> Some (env, Top))
   | "min_key" -> with_root (fun env _r -> Some (env, Top))
   | "min_payload" -> with_root (fun env _r -> ret_default env)
+  | _ -> None
+
+(* ---------- the Int_bucket_queue model ---------- *)
+
+(* Caller-side (and intra-module helper-call) summaries of the radix
+   bucket queue. The mutators havoc only the queue root — CSR claims on
+   other roots survive the Dijkstra pop/push cycle, which is the whole
+   point: the integer kernel must not lose its licences to the queue.
+   [bucket_index] is pure and its result lies in [0, 64), the documented
+   msb bound the 64-slot columns of [materialize_bucket] are sized for. *)
+and bucket_model ss env e name argl =
+  let ret_default env = Some (default_value env e.exp_type) in
+  let with_root k =
+    match argl with
+    | te :: rest -> (
+        let env, tv = eval ss env te in
+        let env =
+          List.fold_left (fun env a -> fst (eval ss env a)) env rest
+        in
+        match root_of_value tv with
+        | Some r -> k env r
+        | None -> ret_default env)
+    | [] -> ret_default env
+  in
+  match name with
+  | "create" ->
+      let env, _ = eval_list ss env argl in
+      Some (env, Root (fresh_root ()))
+  | "bucket_index" ->
+      let env, _ = eval_list ss env argl in
+      Some (env, Int (mk_iv [ const 0 ] [ const 63 ]))
+  | "push" | "drop_min" | "clear" | "append" | "ensure_min" ->
+      with_root (fun env r -> Some (havoc_root env r, Top))
+  | "pop" -> with_root (fun env r -> ret_default (havoc_root env r))
+  | "length" ->
+      with_root (fun env r ->
+          let env = materialize_bucket env r in
+          let env, sv = get_path env r "size" ~mut:true `Int in
+          Some (env, sv))
+  | "is_empty" | "check_invariant" -> with_root (fun env _r -> Some (env, Top))
+  | "min_key" | "min_payload" -> with_root (fun env r -> ret_default (havoc_root env r))
   | _ -> None
 
 (* ---------- loops ---------- *)
